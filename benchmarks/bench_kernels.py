@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the library's computational kernels.
+
+Not tied to a single paper artifact: these time the building blocks
+every experiment uses (reference kernels, factorization, coloring,
+partitioning, simulation), so regressions in the substrate are visible
+independently of the experiment harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import TorusGeometry
+from repro.config import AzulConfig
+from repro.core import build_pcg_hypergraph, map_block
+from repro.dataflow import build_spmv_program
+from repro.graph import color_and_permute, level_schedule
+from repro.hypergraph import PartitionerOptions, partition
+from repro.precond import ic0
+from repro.sim import AZUL_PE, KernelSimulator
+from repro.solvers import pcg
+from repro.sparse import generators as gen
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return gen.random_geometric_fem(
+        300, avg_degree=7, dofs_per_node=2, seed=21
+    )
+
+
+@pytest.fixture(scope="module")
+def lower(matrix):
+    return ic0(matrix)
+
+
+def test_spmv_reference(benchmark, matrix, rng=np.random.default_rng(0)):
+    x = rng.standard_normal(matrix.n_cols)
+    y = benchmark(matrix.spmv, x)
+    assert y.shape == (matrix.n_rows,)
+
+
+def test_sptrsv_reference(benchmark, lower):
+    from repro.sparse.ops import sptrsv_lower
+
+    b = np.ones(lower.n_rows)
+    x = benchmark(sptrsv_lower, lower, b)
+    assert np.all(np.isfinite(x))
+
+
+def test_ic0_factorization(benchmark, matrix):
+    factor = benchmark(ic0, matrix)
+    assert factor.nnz == matrix.lower_triangle().nnz
+
+
+def test_coloring_and_permutation(benchmark, matrix):
+    permuted, _, _ = benchmark(color_and_permute, matrix)
+    assert permuted.nnz == matrix.nnz
+
+
+def test_level_schedule(benchmark, lower):
+    schedule = benchmark(level_schedule, lower)
+    assert schedule.n_levels > 0
+
+
+def test_pcg_solve(benchmark, matrix):
+    b = gen.make_rhs(matrix, seed=2)
+    result = benchmark.pedantic(
+        lambda: pcg(matrix, b), rounds=1, iterations=1
+    )
+    assert result.converged
+
+
+def test_hypergraph_partition(benchmark, matrix, lower):
+    hypergraph = build_pcg_hypergraph(matrix, lower, q=0)
+    assignment = benchmark.pedantic(
+        lambda: partition(hypergraph, 16, PartitionerOptions.speed(seed=0)),
+        rounds=1, iterations=1,
+    )
+    assert assignment.max() < 16
+
+
+def test_kernel_simulation(benchmark, matrix, lower):
+    config = AzulConfig(mesh_rows=4, mesh_cols=4)
+    torus = TorusGeometry(4, 4)
+    placement = map_block(matrix, lower, 16)
+    program = build_spmv_program(
+        matrix, placement.a_tile, placement.vec_tile, torus
+    )
+    x = np.ones(matrix.n_rows)
+    result = benchmark.pedantic(
+        lambda: KernelSimulator(program, torus, config, AZUL_PE).run(x=x),
+        rounds=1, iterations=1,
+    )
+    assert np.allclose(result.output, matrix.spmv(x))

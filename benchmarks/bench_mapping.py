@@ -1,0 +1,54 @@
+"""Benchmarks for the mapping study: Figs. 10/11/17/23 and Sec. VI-D."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10, fig11, fig17, fig23, tabD
+
+
+def test_fig10_idealized_pe_mappings(benchmark, subset):
+    result = run_once(benchmark, lambda: fig10.run(matrices=subset))
+    # Even with idealized PEs, position-based mappings lose to Azul's.
+    # (At 64 tiles a high-parallelism grid can tie — the paper's margin
+    # comes from 4096 tiles — so require a majority win plus gmean.)
+    wins = sum(row["azul"] > row["round_robin"] for row in result.rows)
+    assert wins >= (len(result.rows) + 1) // 2
+    assert result.extras["azul_vs_round_robin"] > 1.2
+
+
+def test_fig11_traffic_reduction(benchmark, subset):
+    result = run_once(benchmark, lambda: fig11.run(matrices=subset))
+    for row in result.rows:
+        # Azul's mapping must produce the least traffic of all four.
+        assert row["azul_norm"] <= row["round_robin_norm"]
+        assert row["azul_norm"] <= row["block_norm"]
+        assert row["azul_norm"] <= row["sparsep_norm"]
+    assert result.extras["azul_traffic_reduction_vs_rr"] > 3.0
+
+
+def test_fig17_time_balancing(benchmark):
+    result = run_once(benchmark, fig17.run)
+    # Time balancing must not slow the kernel down, and the issue
+    # histogram of the balanced mapping must end earlier (no long tail).
+    assert result.extras["speedup"] >= 1.0
+    last_bucket = result.rows[-1]
+    assert last_bucket["time_balanced"] <= max(
+        last_bucket["nonzero_balanced"], 1
+    )
+
+
+def test_fig23_end_to_end_mappings(benchmark, subset):
+    result = run_once(benchmark, lambda: fig23.run(matrices=subset))
+    for row in result.rows:
+        assert row["azul"] > row["round_robin"]
+        assert row["azul"] > row["sparsep"]
+    assert result.extras["azul_vs_round_robin"] > 1.0
+
+
+def test_tabD_mapping_costs(benchmark, subset):
+    result = run_once(
+        benchmark, lambda: tabD.run(matrices=subset, use_cache=False)
+    )
+    for row in result.rows:
+        # Azul's mapping is the most expensive, Block the cheapest
+        # (Sec. VI-D's ordering).
+        assert row["azul_s"] > row["block_s"]
+        assert row["azul_s"] > row["sparsep_s"]

@@ -1,0 +1,87 @@
+"""Quickstart: solve a sparse system and estimate Azul's speedup.
+
+Builds a 2D-grid SPD system, solves it functionally with IC(0)-
+preconditioned conjugate gradients, then maps the same problem onto a
+simulated 8x8-tile Azul machine and reports per-iteration timing,
+throughput, and the end-to-end solve-time estimate versus the GPU
+model.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AzulConfig,
+    AzulMachine,
+    GPUModel,
+    IncompleteCholesky,
+    map_azul,
+    pcg,
+)
+from repro.graph import color_and_permute
+from repro.hypergraph import PartitionerOptions
+from repro.sparse import generators
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. Build a problem: 5-point Laplacian on a 32x32 grid.
+    # ------------------------------------------------------------------
+    matrix = generators.grid_laplacian_2d(32, 32, shift=0.02)
+    b, x_true = generators.make_rhs_with_solution(matrix, seed=7)
+    print(f"system: n={matrix.n_rows}, nnz={matrix.nnz}")
+
+    # ------------------------------------------------------------------
+    # 2. The paper's preprocessing: color + permute for parallelism.
+    # ------------------------------------------------------------------
+    matrix, b, perm = color_and_permute(matrix, b)
+
+    # ------------------------------------------------------------------
+    # 3. Functional solve (ground truth + iteration count).
+    # ------------------------------------------------------------------
+    preconditioner = IncompleteCholesky(matrix)
+    solution = pcg(matrix, b, preconditioner)
+    error = np.linalg.norm(solution.x - x_true[perm])
+    print(
+        f"PCG converged in {solution.iterations} iterations "
+        f"(|x - x_true| = {error:.2e})"
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Map the problem onto Azul and simulate one iteration.
+    # ------------------------------------------------------------------
+    config = AzulConfig(mesh_rows=8, mesh_cols=8)
+    lower = preconditioner.lower_factor()
+    placement = map_azul(
+        matrix, lower, config.num_tiles,
+        options=PartitionerOptions.speed(seed=0),
+    )
+    placement.validate_capacity(config)
+    machine = AzulMachine(config)
+    timing = machine.simulate_pcg(matrix, lower, placement, b)
+    print(
+        f"Azul: {timing.total_cycles} cycles/iteration, "
+        f"{timing.gflops():.1f} GFLOP/s "
+        f"({timing.utilization():.1%} of peak)"
+    )
+
+    # ------------------------------------------------------------------
+    # 5. End-to-end estimate vs the GPU model.
+    # ------------------------------------------------------------------
+    azul_seconds = (
+        solution.iterations * timing.total_cycles / config.frequency_hz
+    )
+    gpu_seconds = (
+        solution.iterations
+        * GPUModel().pcg_iteration_time(matrix, lower).total
+    )
+    print(
+        f"end-to-end solve: Azul {azul_seconds * 1e6:.0f} us vs "
+        f"GPU model {gpu_seconds * 1e6:.0f} us "
+        f"({gpu_seconds / azul_seconds:.0f}x speedup)"
+    )
+
+
+if __name__ == "__main__":
+    main()

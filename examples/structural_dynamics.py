@@ -1,0 +1,67 @@
+"""Structural dynamics with a state-dependent stiffness matrix.
+
+The paper's middle Sec. II-C category (e.g. rigid-body simulation):
+A's *values* change with the state while its *pattern* — the mesh —
+is static, and the preconditioner is refreshed only when values drift.
+Uses the generic :class:`~repro.apps.PhysicalSystemSimulator` harness
+end to end, including the Azul execution estimate and the Sec. VI-D
+amortization break-even.
+
+Run:  python examples/structural_dynamics.py
+"""
+
+from repro.apps import PhysicalSystemSimulator, StructuralModel
+from repro.config import AzulConfig
+from repro.solvers import SolveOptions
+
+
+TIMESTEPS = 12
+
+
+def main():
+    model = StructuralModel(
+        n_nodes=150, dofs=2, softening=0.3, refresh_threshold=0.05, seed=4
+    )
+    simulator = PhysicalSystemSimulator(
+        model, options=SolveOptions(tol=1e-8)
+    )
+    matrix = simulator.matrix
+    print(
+        f"structure: n={matrix.n_rows} DOFs, nnz={matrix.nnz} "
+        f"(mesh pattern is static; stiffness values soften with state)"
+    )
+
+    # One-time: map onto Azul and time one steady-state iteration.
+    config = AzulConfig(mesh_rows=8, mesh_cols=8)
+    estimate = simulator.azul_estimate(config=config)
+    print(
+        f"mapping: {estimate.mapping_seconds:.1f} s once; "
+        f"{estimate.cycles_per_iteration} cycles/iteration thereafter"
+    )
+
+    trace = simulator.run(n_steps=TIMESTEPS)
+    for record in trace.records:
+        refresh = "  [IC(0) refreshed]" if record.preconditioner_refreshed \
+            else ""
+        print(
+            f"  step {record.step:2d}: {record.iterations:3d} iterations, "
+            f"residual {record.residual_norm:.2e}{refresh}"
+        )
+
+    print(
+        f"\n{trace.n_steps} steps, {trace.total_iterations} iterations, "
+        f"{trace.refresh_count} preconditioner refreshes"
+    )
+    solve_seconds = estimate.solve_seconds(trace.total_iterations)
+    print(f"Azul solve time: {solve_seconds * 1e6:.0f} us")
+    per_step = trace.total_iterations / trace.n_steps
+    breakeven = estimate.amortization_steps(per_step)
+    print(
+        f"mapping cost drops below 1% of solve time after "
+        f"{breakeven:,.0f} timesteps — long-running simulations "
+        "(the paper's hours-scale workloads) amortize it completely"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""repro — a reproduction of "Azul: An Accelerator for Sparse Iterative
+Solvers Leveraging Distributed On-Chip Memory" (MICRO 2024).
+
+The package provides, as a library:
+
+* a sparse linear-algebra substrate (:mod:`repro.sparse`) with iterative
+  solvers (:mod:`repro.solvers`) and preconditioners
+  (:mod:`repro.precond`);
+* the paper's preprocessing (coloring/permutation, level analysis,
+  :mod:`repro.graph`);
+* a from-scratch multilevel hypergraph partitioner
+  (:mod:`repro.hypergraph`);
+* Azul's data-mapping algorithms and the baselines they are compared
+  against (:mod:`repro.core`);
+* a cycle-level simulator of the tiled accelerator (:mod:`repro.sim`)
+  with communication trees (:mod:`repro.comm`) and dataflow compilation
+  (:mod:`repro.dataflow`);
+* analytic baseline/area/power models (:mod:`repro.models`);
+* the experiment harness reproducing every evaluation table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (AzulConfig, AzulMachine, map_azul, pcg,
+                       IncompleteCholesky)
+    from repro.sparse import generators
+
+    A = generators.grid_laplacian_2d(32, 32)
+    b = generators.make_rhs(A)
+    M = IncompleteCholesky(A)
+    reference = pcg(A, b, M)                  # functional solve
+    config = AzulConfig(mesh_rows=8, mesh_cols=8)
+    placement = map_azul(A, M.lower_factor(), config.num_tiles)
+    machine = AzulMachine(config)
+    timing = machine.simulate_pcg(A, M.lower_factor(), placement, b)
+    print(timing.gflops(), "GFLOP/s,", reference.iterations, "iterations")
+"""
+
+from repro.config import AzulConfig, default_config, paper_config
+from repro.errors import (
+    CapacityError,
+    ConvergenceError,
+    MappingError,
+    MatrixFormatError,
+    PartitionError,
+    PreconditionerError,
+    ReproError,
+    SimulationError,
+    SingularMatrixError,
+)
+from repro.sparse import COOMatrix, CSCMatrix, CSRMatrix
+from repro.solvers import (
+    SolveOptions,
+    SolveResult,
+    bicgstab,
+    chebyshev,
+    conjugate_gradient,
+    gmres,
+    pcg,
+    power_iteration,
+)
+from repro.precond import (
+    AMGPreconditioner,
+    BlockJacobiPreconditioner,
+    IdentityPreconditioner,
+    IncompleteCholesky,
+    IncompleteLU,
+    JacobiPreconditioner,
+    SSORPreconditioner,
+    SymmetricGaussSeidel,
+)
+from repro.core import (
+    Placement,
+    analyze_traffic,
+    map_azul,
+    map_block,
+    map_round_robin,
+    map_sparsep,
+)
+from repro.sim import (
+    AZUL_PE,
+    DALOREX_PE,
+    IDEAL_PE,
+    AzulMachine,
+    IterationResult,
+)
+from repro.models import AlreschaModel, GPUModel, area_report, power_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AzulConfig",
+    "default_config",
+    "paper_config",
+    "ReproError",
+    "MatrixFormatError",
+    "SingularMatrixError",
+    "PreconditionerError",
+    "ConvergenceError",
+    "PartitionError",
+    "MappingError",
+    "CapacityError",
+    "SimulationError",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "SolveOptions",
+    "SolveResult",
+    "pcg",
+    "conjugate_gradient",
+    "bicgstab",
+    "chebyshev",
+    "gmres",
+    "power_iteration",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "IncompleteCholesky",
+    "IncompleteLU",
+    "SymmetricGaussSeidel",
+    "SSORPreconditioner",
+    "BlockJacobiPreconditioner",
+    "AMGPreconditioner",
+    "Placement",
+    "map_azul",
+    "map_block",
+    "map_round_robin",
+    "map_sparsep",
+    "analyze_traffic",
+    "AzulMachine",
+    "IterationResult",
+    "AZUL_PE",
+    "DALOREX_PE",
+    "IDEAL_PE",
+    "GPUModel",
+    "AlreschaModel",
+    "area_report",
+    "power_report",
+    "__version__",
+]

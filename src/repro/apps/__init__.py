@@ -1,0 +1,32 @@
+"""End-to-end applications of sparse iterative solvers (paper Sec. II-C).
+
+The paper motivates Azul with physical-system simulators (Fig. 8):
+timestep loops where each step solves ``A x = b``, then updates ``b``
+(and sometimes A's values) from ``x``.  This subpackage provides that
+harness — :class:`~repro.apps.simulator.PhysicalSystemSimulator` — plus
+two concrete models matching the paper's taxonomy:
+
+* :mod:`repro.apps.heat` — heat transfer: A static, only b changes
+  (the simplest Sec. II-C category);
+* :mod:`repro.apps.structural` — rigid-body-style stiffness: A's
+  *values* are a function of the state while its *pattern* is static,
+  with periodic preconditioner refresh.
+"""
+
+from repro.apps.simulator import (
+    AzulExecutionEstimate,
+    PhysicalSystemSimulator,
+    SimulationTrace,
+    TimestepRecord,
+)
+from repro.apps.heat import HeatTransferModel
+from repro.apps.structural import StructuralModel
+
+__all__ = [
+    "PhysicalSystemSimulator",
+    "SimulationTrace",
+    "TimestepRecord",
+    "AzulExecutionEstimate",
+    "HeatTransferModel",
+    "StructuralModel",
+]

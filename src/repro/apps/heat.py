@@ -1,0 +1,76 @@
+"""Heat-transfer model: the paper's simplest end-to-end category.
+
+Implicit-Euler heat conduction on a 2D plate: each timestep solves
+``(I + dt*K) x_next = x`` where ``K`` is the grid Laplacian.  A is
+static — "in some cases, for example heat transfer, A is static, and
+only b changes over time; b_next is calculated by a sparse matrix-
+vector product with the resulting x" (Sec. II-C).  Here ``M = I`` so
+the b-update is the identity SpMV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.generators import grid_laplacian_2d
+
+
+class HeatTransferModel:
+    """2D implicit-Euler heat conduction.
+
+    Parameters
+    ----------
+    nx, ny:
+        Plate resolution.
+    dt:
+        Timestep length.
+    conductivity:
+        Thermal conductivity scaling of the Laplacian.
+    hotspot:
+        ``(row_lo, row_hi, col_lo, col_hi, temperature)`` of the initial
+        hot region; defaults to a centered square at 100 degrees.
+    """
+
+    def __init__(self, nx: int = 24, ny: int = 24, dt: float = 0.1,
+                 conductivity: float = 1.0, hotspot=None):
+        self.nx = nx
+        self.ny = ny
+        self.dt = dt
+        self.conductivity = conductivity
+        if hotspot is None:
+            lo_r, hi_r = nx // 3, 2 * nx // 3
+            lo_c, hi_c = ny // 3, 2 * ny // 3
+            hotspot = (lo_r, hi_r, lo_c, hi_c, 100.0)
+        self.hotspot = hotspot
+
+    # ------------------------------------------------------------------
+    def initial_matrix(self) -> CSRMatrix:
+        """A = I + dt * conductivity * K (SPD, static)."""
+        laplacian = grid_laplacian_2d(self.nx, self.ny, shift=0.0)
+        data = laplacian.data * (self.dt * self.conductivity)
+        rows = np.repeat(np.arange(laplacian.n_rows), laplacian.row_nnz())
+        data[rows == laplacian.indices] += 1.0
+        return CSRMatrix(
+            laplacian.indptr.copy(), laplacian.indices.copy(), data,
+            laplacian.shape,
+        )
+
+    def initial_state(self) -> np.ndarray:
+        """Temperature field with the configured hotspot."""
+        field = np.zeros((self.nx, self.ny))
+        lo_r, hi_r, lo_c, hi_c, temperature = self.hotspot
+        field[lo_r:hi_r, lo_c:hi_c] = temperature
+        return field.ravel()
+
+    def rhs(self, x: np.ndarray) -> np.ndarray:
+        """b = M x with M = I: the previous temperature field."""
+        return np.array(x, copy=True)
+
+    # A is static: no update_values / needs_refresh hooks.
+
+    # ------------------------------------------------------------------
+    def total_heat(self, x: np.ndarray) -> float:
+        """Integral of the temperature field (conserved on an insulated
+        plate up to the implicit scheme's boundary handling)."""
+        return float(np.sum(x))

@@ -1,0 +1,203 @@
+"""Generic physical-system simulation harness (paper Fig. 8).
+
+The loop:
+
+    solve A x = b  ->  update b (and optionally A's values)  ->  next step
+
+A *model* supplies the system matrix, the initial right-hand side, and
+the update rules; the harness runs the timestep loop with warm-started
+PCG, refreshes the preconditioner when the model says A drifted enough,
+and (optionally) accounts the time a mapped Azul machine would take —
+demonstrating the paper's amortization story: one expensive mapping,
+reused across every timestep because the sparsity pattern is static.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.precond import IncompleteCholesky
+from repro.solvers import SolveOptions, pcg
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class TimestepRecord:
+    """Per-timestep solver statistics."""
+
+    step: int
+    iterations: int
+    residual_norm: float
+    preconditioner_refreshed: bool
+
+
+@dataclass
+class SimulationTrace:
+    """Full-run record returned by the harness."""
+
+    records: list = field(default_factory=list)
+    x: np.ndarray = None
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(r.iterations for r in self.records)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.records)
+
+    @property
+    def refresh_count(self) -> int:
+        return sum(r.preconditioner_refreshed for r in self.records)
+
+
+@dataclass
+class AzulExecutionEstimate:
+    """Accelerator-time accounting for a simulation run.
+
+    ``cycles_per_iteration`` comes from one steady-state simulation of
+    the mapped PCG iteration; every timestep's solve reuses it (static
+    pattern + static mapping).
+    """
+
+    cycles_per_iteration: int
+    frequency_hz: float
+    mapping_seconds: float = 0.0
+
+    def solve_seconds(self, total_iterations: int) -> float:
+        """Accelerator time for the whole run's solves."""
+        return (
+            total_iterations * self.cycles_per_iteration / self.frequency_hz
+        )
+
+    def amortization_steps(self, iterations_per_step: float) -> float:
+        """Timesteps needed for mapping cost to drop below 1% of solve
+        time — the Sec. VI-D break-even measure."""
+        per_step = self.solve_seconds(iterations_per_step)
+        if per_step <= 0:
+            return float("inf")
+        return 0.01 * self.mapping_seconds / per_step
+
+
+class PhysicalSystemSimulator:
+    """Timestep loop around an iterative solver (Fig. 8).
+
+    Parameters
+    ----------
+    model:
+        An object providing:
+
+        * ``initial_matrix() -> CSRMatrix`` — the system matrix A;
+        * ``initial_state() -> ndarray`` — x at t=0;
+        * ``rhs(x) -> ndarray`` — b for the next solve, from the state;
+        * optionally ``update_values(matrix, x) -> CSRMatrix`` — new A
+          *values* on the same pattern (return the same object if A is
+          static);
+        * optionally ``needs_refresh(drift) -> bool`` — whether the
+          preconditioner should be rebuilt given relative value drift.
+    options:
+        Solver options for the per-step PCG solves.
+    """
+
+    def __init__(self, model, options: SolveOptions = None):
+        self.model = model
+        self.options = options or SolveOptions(tol=1e-8)
+        self.matrix = model.initial_matrix()
+        if self.matrix.shape[0] != self.matrix.shape[1]:
+            raise ReproError("system matrix must be square")
+        self._pattern = (
+            self.matrix.indptr.copy(), self.matrix.indices.copy()
+        )
+        self._reference_values = self.matrix.data.copy()
+        self.preconditioner = IncompleteCholesky(self.matrix)
+
+    # ------------------------------------------------------------------
+    def _maybe_update_matrix(self, x: np.ndarray) -> bool:
+        """Apply the model's A-update; returns True if M was rebuilt."""
+        update = getattr(self.model, "update_values", None)
+        if update is None:
+            return False
+        updated = update(self.matrix, x)
+        if updated is self.matrix:
+            return False
+        indptr, indices = self._pattern
+        if not (
+            np.array_equal(updated.indptr, indptr)
+            and np.array_equal(updated.indices, indices)
+        ):
+            raise ReproError(
+                "model changed A's sparsity pattern; Sec. II-C requires a "
+                "static pattern (only values may change)"
+            )
+        self.matrix = updated
+        drift = float(
+            np.linalg.norm(updated.data - self._reference_values)
+            / np.linalg.norm(self._reference_values)
+        )
+        needs_refresh = getattr(self.model, "needs_refresh", None)
+        if needs_refresh is not None and needs_refresh(drift):
+            self.preconditioner = IncompleteCholesky(self.matrix)
+            self._reference_values = self.matrix.data.copy()
+            return True
+        return False
+
+    def run(self, n_steps: int) -> SimulationTrace:
+        """Execute the timestep loop."""
+        trace = SimulationTrace()
+        x = np.asarray(self.model.initial_state(), dtype=np.float64)
+        for step in range(n_steps):
+            b = self.model.rhs(x)
+            result = pcg(
+                self.matrix, b, self.preconditioner,
+                options=self.options, x0=x,
+            )
+            x = result.x
+            refreshed = self._maybe_update_matrix(x)
+            trace.records.append(TimestepRecord(
+                step=step,
+                iterations=result.iterations,
+                residual_norm=result.residual_norm,
+                preconditioner_refreshed=refreshed,
+            ))
+        trace.x = x
+        return trace
+
+    # ------------------------------------------------------------------
+    def azul_estimate(self, config=None, preset: str = "speed",
+                      ) -> AzulExecutionEstimate:
+        """Map the system onto Azul and time one steady-state iteration.
+
+        Returns the per-iteration cycle cost to combine with a
+        :class:`SimulationTrace`'s iteration totals.
+        """
+        import time
+
+        from repro.config import AzulConfig
+        from repro.core import map_azul
+        from repro.hypergraph import PartitionerOptions
+        from repro.sim import AzulMachine
+
+        config = config or AzulConfig()
+        lower = self.preconditioner.lower_factor()
+        options = (
+            PartitionerOptions.speed(seed=0) if preset == "speed"
+            else PartitionerOptions.quality(seed=0)
+        )
+        start = time.perf_counter()
+        placement = map_azul(
+            self.matrix, lower, config.num_tiles, options=options
+        )
+        mapping_seconds = time.perf_counter() - start
+        machine = AzulMachine(config)
+        b = self.model.rhs(self.model.initial_state())
+        timing = machine.simulate_pcg(
+            self.matrix, lower, placement, b, check=False
+        )
+        return AzulExecutionEstimate(
+            cycles_per_iteration=timing.total_cycles,
+            frequency_hz=config.frequency_hz,
+            mapping_seconds=mapping_seconds,
+        )

@@ -1,0 +1,32 @@
+"""On-chip communication: torus geometry, routing, and message trees.
+
+Azul's tiles communicate over a 2D-torus NoC with dimension-order
+routing.  Multicasts (distributing vector values down matrix columns)
+and reductions (collecting partial row sums) are implemented as trees
+rather than point-to-point message fans, avoiding redundant link traffic
+and serialization (Sec. IV-D, Fig. 18).
+"""
+
+from repro.comm.torus import TorusGeometry
+from repro.comm.mesh import MeshGeometry
+from repro.comm.routing import route_path, hop_distance
+from repro.comm.multicast import MulticastTree, build_multicast_tree
+from repro.comm.reduction import ReductionTree, build_reduction_tree
+
+def make_geometry(config):
+    """Build the NoC geometry a config describes (torus or mesh)."""
+    cls = TorusGeometry if config.topology == "torus" else MeshGeometry
+    return cls(config.mesh_rows, config.mesh_cols)
+
+
+__all__ = [
+    "TorusGeometry",
+    "MeshGeometry",
+    "make_geometry",
+    "route_path",
+    "hop_distance",
+    "MulticastTree",
+    "build_multicast_tree",
+    "ReductionTree",
+    "build_reduction_tree",
+]

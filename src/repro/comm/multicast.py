@@ -1,0 +1,84 @@
+"""Multicast trees (paper Fig. 18, right).
+
+A tile multicasting a value to many destinations sends it once down a
+tree embedded in the torus: each tree edge is a single link traversal,
+and forking happens at intermediate tiles.  This avoids both redundant
+link traffic and the serialization of issuing hundreds of point-to-point
+sends from one PE (Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.routing import route_path
+from repro.comm.torus import TorusGeometry
+
+
+@dataclass
+class MulticastTree:
+    """A multicast tree rooted at ``root`` covering ``destinations``.
+
+    Attributes
+    ----------
+    root:
+        Source tile.
+    destinations:
+        The tiles that must receive the value (excluding the root).
+    children:
+        ``children[tile]`` lists the tiles this node forwards to.
+    edges:
+        All ``(parent, child)`` link traversals, one per tree edge.
+    """
+
+    root: int
+    destinations: tuple
+    children: dict = field(default_factory=dict)
+    edges: list = field(default_factory=list)
+
+    @property
+    def n_link_activations(self) -> int:
+        """Link traversals used by one multicast down this tree."""
+        return len(self.edges)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf hop count."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            for child in self.children.get(node, ()):
+                stack.append((child, d + 1))
+        return best
+
+    def fanout(self, tile: int) -> int:
+        """Number of children a tile forwards to."""
+        return len(self.children.get(tile, ()))
+
+
+def build_multicast_tree(torus: TorusGeometry, root: int,
+                         destinations) -> MulticastTree:
+    """Merge the dimension-order paths to all destinations into a tree.
+
+    Because X-then-Y routing gives each destination a unique path from
+    the root, the union of paths is a tree; shared prefixes are traversed
+    once (e.g. one east-west message forwarded north and south,
+    Fig. 18).
+    """
+    destinations = tuple(sorted({int(d) for d in destinations} - {int(root)}))
+    children = {}
+    edge_set = set()
+    for dst in destinations:
+        path = route_path(torus, root, dst)
+        for parent, child in zip(path, path[1:]):
+            if (parent, child) not in edge_set:
+                edge_set.add((parent, child))
+                children.setdefault(parent, []).append(child)
+    edges = sorted(edge_set)
+    return MulticastTree(
+        root=int(root),
+        destinations=destinations,
+        children=children,
+        edges=edges,
+    )

@@ -1,0 +1,34 @@
+"""Dimension-order (X-then-Y) routing on the torus.
+
+Deterministic dimension-order routing is deadlock-free on a per-
+dimension basis and, crucially for multicast trees, gives every
+(root, destination) pair a unique path: merging the paths of all
+destinations of one multicast yields a tree (Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+from repro.comm.torus import TorusGeometry
+
+
+def route_path(torus: TorusGeometry, src: int, dst: int) -> list:
+    """The tile sequence from ``src`` to ``dst`` (inclusive of both).
+
+    Routes along X (columns) first, then Y (rows), taking the shorter
+    wrap direction on each axis.
+    """
+    path = [src]
+    row, col = torus.coords(src)
+    dst_row, dst_col = torus.coords(dst)
+    for step in torus.x_steps(col, dst_col):
+        col += step
+        path.append(torus.tile_id(row, col))
+    for step in torus.y_steps(row, dst_row):
+        row += step
+        path.append(torus.tile_id(row, col))
+    return path
+
+
+def hop_distance(torus: TorusGeometry, src: int, dst: int) -> int:
+    """Minimal hops between two tiles (wrap-aware)."""
+    return torus.hop_distance(src, dst)

@@ -1,0 +1,46 @@
+"""Azul's data-mapping algorithms (the paper's core contribution, Sec. IV).
+
+A *mapping* places every operand value — matrix nonzeros and vector
+elements — on a specific tile.  The mapping alone determines NoC
+traffic (Sec. IV-A), so the paper compares four strategies (Sec. VI-C):
+
+* **Round Robin** (Dalorex): nonzero ``i`` of the row-major enumeration
+  goes to tile ``i mod P``.
+* **Block** (Tascade / MPI practice): contiguous chunks of the row-major
+  enumeration.
+* **SparseP**: coordinate-space 2D chunking with equal-nnz splits.
+* **Azul**: hypergraph partitioning with communication-set hyperedges,
+  row-edge overweighting, and temporal quantile balance constraints.
+"""
+
+from repro.core.placement import Placement, placement_stats
+from repro.core.round_robin import map_round_robin
+from repro.core.block import map_block
+from repro.core.sparsep import map_sparsep
+from repro.core.azul_mapping import map_azul, build_pcg_hypergraph
+from repro.core.quantiles import depth_quantile_weights
+from repro.core.traffic import TrafficReport, analyze_traffic
+from repro.core.registry import MAPPERS, get_mapper
+from repro.core.mapping_io import (
+    load_placement,
+    placements_equal,
+    save_placement,
+)
+
+__all__ = [
+    "Placement",
+    "placement_stats",
+    "map_round_robin",
+    "map_block",
+    "map_sparsep",
+    "map_azul",
+    "build_pcg_hypergraph",
+    "depth_quantile_weights",
+    "TrafficReport",
+    "analyze_traffic",
+    "MAPPERS",
+    "get_mapper",
+    "save_placement",
+    "load_placement",
+    "placements_equal",
+]

@@ -1,0 +1,131 @@
+"""Azul's hypergraph-partitioning data mapping (Sec. IV).
+
+Every data value — each nonzero of A, each nonzero of L, and each
+vector index's home — is a hypergraph vertex.  Each *communication set*
+is a hyperedge:
+
+* column ``j`` of a matrix together with vector slot ``j`` (the
+  multicast set of ``v_j`` / solved ``x_j``);
+* row ``i`` of a matrix together with vector slot ``i`` (the reduction
+  set of ``y_i`` / the partial sums feeding ``x_i``).
+
+Row hyperedges get a larger weight than column hyperedges because
+splitting a reduction costs a standalone Add and can delay
+parallelism-revealing variable eliminations (Sec. IV-C).  Balance
+constraints combine SRAM bytes with the temporal depth quantiles of
+:mod:`repro.core.quantiles`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement import (
+    PCG_VECTORS_PER_INDEX,
+    Placement,
+    pin_diagonals,
+)
+from repro.core.quantiles import depth_quantile_weights, pcg_vertex_depths
+from repro.hypergraph import Hypergraph, PartitionerOptions, partition
+from repro.sparse.csr import CSRMatrix
+
+#: Default weight ratio of row (reduction) to column (multicast) edges.
+DEFAULT_ROW_WEIGHT = 2.0
+
+
+def _matrix_edges(matrix: CSRMatrix, nnz_offset: int, vec_offset: int,
+                  row_weight: float):
+    """Row and column hyperedges of one matrix, as (pins, weight) pairs."""
+    n = matrix.n_rows
+    rows = np.repeat(np.arange(n), matrix.row_nnz())
+    cols = matrix.indices
+    nnz_ids = np.arange(matrix.nnz) + nnz_offset
+
+    edges = []
+    weights = []
+    # Row edges: reduction sets {nonzeros of row i} + vec slot i.
+    row_order = np.argsort(rows, kind="stable")
+    row_starts = np.searchsorted(rows[row_order], np.arange(n + 1))
+    for i in range(n):
+        members = nnz_ids[row_order[row_starts[i]:row_starts[i + 1]]]
+        if len(members):
+            edges.append(np.append(members, vec_offset + i))
+            weights.append(row_weight)
+    # Column edges: multicast sets {nonzeros of column j} + vec slot j.
+    col_order = np.argsort(cols, kind="stable")
+    col_starts = np.searchsorted(cols[col_order], np.arange(n + 1))
+    for j in range(n):
+        members = nnz_ids[col_order[col_starts[j]:col_starts[j + 1]]]
+        if len(members):
+            edges.append(np.append(members, vec_offset + j))
+            weights.append(1.0)
+    return edges, weights
+
+
+def build_pcg_hypergraph(matrix: CSRMatrix, lower: CSRMatrix,
+                         q: int = 5,
+                         row_weight: float = DEFAULT_ROW_WEIGHT,
+                         nnz_bytes: int = 12,
+                         vector_bytes: int = 8) -> Hypergraph:
+    """Hypergraph of one PCG iteration's communication sets.
+
+    Vertices: A nonzeros ``[0, nnzA)``, L nonzeros ``[nnzA, nnzA+nnzL)``,
+    vector slots ``[nnzA+nnzL, +n)``.  Vertex weight columns: SRAM bytes
+    first, then ``q`` temporal quantile indicators (``q = 0`` disables
+    time balancing — the "nonzero balancing" baseline of Fig. 17).
+    """
+    n = matrix.n_rows
+    n_vertices = matrix.nnz + lower.nnz + n
+    vec_offset = matrix.nnz + lower.nnz
+
+    a_edges, a_weights = _matrix_edges(matrix, 0, vec_offset, row_weight)
+    l_edges, l_weights = _matrix_edges(
+        lower, matrix.nnz, vec_offset, row_weight
+    )
+    edges = a_edges + l_edges
+    edge_weights = np.array(a_weights + l_weights)
+
+    bytes_col = np.concatenate([
+        np.full(matrix.nnz, nnz_bytes, dtype=np.float64),
+        np.full(lower.nnz, nnz_bytes, dtype=np.float64),
+        np.full(n, vector_bytes * PCG_VECTORS_PER_INDEX, dtype=np.float64),
+    ])
+    if q > 0:
+        depths = pcg_vertex_depths(matrix, lower)
+        quantiles = depth_quantile_weights(depths, q)
+        vertex_weights = np.column_stack([bytes_col, quantiles])
+    else:
+        vertex_weights = bytes_col[:, None]
+
+    return Hypergraph(n_vertices, edges, edge_weights, vertex_weights)
+
+
+def map_azul(matrix: CSRMatrix, lower: CSRMatrix, n_tiles: int,
+             q: int = 5, row_weight: float = DEFAULT_ROW_WEIGHT,
+             options: PartitionerOptions = None) -> Placement:
+    """Azul's data mapping: partition the PCG hypergraph over the tiles.
+
+    Parameters
+    ----------
+    q:
+        Number of temporal balance quantiles (5 in the paper; 0 gives
+        the nonzero-balancing-only ablation of Fig. 17).
+    row_weight:
+        Reduction-edge weight relative to multicast edges (Sec. IV-C).
+    options:
+        Partitioner preset; defaults to
+        :meth:`PartitionerOptions.quality` scaled-down default.
+    """
+    hgraph = build_pcg_hypergraph(matrix, lower, q=q, row_weight=row_weight)
+    options = options or PartitionerOptions(seed=0)
+    assignment = partition(hgraph, n_tiles, options)
+
+    vec_offset = matrix.nnz + lower.nnz
+    placement = Placement(
+        n_tiles=n_tiles,
+        a_tile=assignment[:matrix.nnz],
+        l_tile=assignment[matrix.nnz:vec_offset],
+        vec_tile=assignment[vec_offset:],
+        mapper="azul" if q > 0 else "azul_nnz_balanced",
+    )
+    return pin_diagonals(placement, lower)

@@ -1,0 +1,62 @@
+"""Placement persistence: save and load mappings.
+
+Azul mappings cost minutes to compute and are reused for hours
+(Sec. VI-D), so persisting them is part of the workflow.  The
+experiment cache does this internally; these functions expose a public,
+self-describing format (NPZ with a schema version) so users can ship
+placements alongside their matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement import Placement
+from repro.errors import MappingError
+
+_FORMAT_VERSION = 1
+
+
+def save_placement(path, placement: Placement):
+    """Write a placement to ``path`` (NPZ, compressed)."""
+    np.savez_compressed(
+        path,
+        version=_FORMAT_VERSION,
+        n_tiles=placement.n_tiles,
+        a_tile=placement.a_tile,
+        l_tile=placement.l_tile,
+        vec_tile=placement.vec_tile,
+        mapper=str(placement.mapper),
+    )
+
+
+def load_placement(path) -> Placement:
+    """Read a placement written by :func:`save_placement`.
+
+    Validates the schema version and tile-id ranges (via the
+    :class:`Placement` constructor).
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise MappingError(
+                f"unsupported placement format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return Placement(
+            n_tiles=int(data["n_tiles"]),
+            a_tile=data["a_tile"],
+            l_tile=data["l_tile"],
+            vec_tile=data["vec_tile"],
+            mapper=str(data["mapper"]),
+        )
+
+
+def placements_equal(first: Placement, second: Placement) -> bool:
+    """Structural equality of two placements."""
+    return (
+        first.n_tiles == second.n_tiles
+        and np.array_equal(first.a_tile, second.a_tile)
+        and np.array_equal(first.l_tile, second.l_tile)
+        and np.array_equal(first.vec_tile, second.vec_tile)
+    )

@@ -1,0 +1,127 @@
+"""Placement of PCG operands across tiles.
+
+A :class:`Placement` records, for every nonzero of A, every nonzero of
+the preconditioner factor L, and every vector index, the tile that holds
+it.  All per-index vector values (x, r, z, p, Ap, scratch) are co-placed
+at one *home* tile, which is also where that index's diagonal work
+happens (solving ``x_i`` in SpTRSV, reducing ``y_i`` in SpMV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import AzulConfig
+from repro.errors import CapacityError, MappingError
+from repro.sparse.csr import CSRMatrix
+
+#: Dense vectors PCG keeps live per index (x, r, z, p, Ap, scratch).
+PCG_VECTORS_PER_INDEX = 6
+
+
+@dataclass
+class Placement:
+    """Tile assignment of all PCG operands.
+
+    Attributes
+    ----------
+    n_tiles:
+        Number of tiles data is spread over.
+    a_tile:
+        Tile of each A nonzero, aligned with A's CSR order.
+    l_tile:
+        Tile of each L nonzero, aligned with L's CSR order.  Diagonal
+        entries are pinned to the row's vector home (see
+        :func:`pin_diagonals`).
+    vec_tile:
+        Home tile of each vector index.
+    mapper:
+        Name of the algorithm that produced this placement.
+    """
+
+    n_tiles: int
+    a_tile: np.ndarray
+    l_tile: np.ndarray
+    vec_tile: np.ndarray
+    mapper: str = "unknown"
+
+    def __post_init__(self):
+        for name, arr in (
+            ("a_tile", self.a_tile),
+            ("l_tile", self.l_tile),
+            ("vec_tile", self.vec_tile),
+        ):
+            arr = np.asarray(arr, dtype=np.int64)
+            setattr(self, name, arr)
+            if len(arr) and (arr.min() < 0 or arr.max() >= self.n_tiles):
+                raise MappingError(f"{name} contains out-of-range tile ids")
+
+    # ------------------------------------------------------------------
+    def tile_bytes(self, config: AzulConfig) -> np.ndarray:
+        """Data-SRAM bytes used on each tile."""
+        used = np.zeros(self.n_tiles, dtype=np.int64)
+        np.add.at(used, self.a_tile, config.nnz_bytes)
+        np.add.at(used, self.l_tile, config.nnz_bytes)
+        np.add.at(
+            used, self.vec_tile,
+            config.vector_bytes * PCG_VECTORS_PER_INDEX,
+        )
+        return used
+
+    def validate_capacity(self, config: AzulConfig):
+        """Raise :class:`CapacityError` if any tile exceeds its Data SRAM."""
+        used = self.tile_bytes(config)
+        worst = int(used.max()) if len(used) else 0
+        if worst > config.data_sram_bytes:
+            raise CapacityError(
+                f"tile overflows Data SRAM: {worst} bytes used, "
+                f"{config.data_sram_bytes} available"
+            )
+
+    def tile_nnz_counts(self) -> np.ndarray:
+        """Matrix nonzeros (A + L) stored per tile."""
+        counts = np.zeros(self.n_tiles, dtype=np.int64)
+        np.add.at(counts, self.a_tile, 1)
+        np.add.at(counts, self.l_tile, 1)
+        return counts
+
+
+def pin_diagonals(placement: Placement, lower: CSRMatrix) -> Placement:
+    """Pin L's diagonal entries to their row's vector home tile.
+
+    Solving ``x_i`` happens at ``vec_tile[i]`` (the paper stores the
+    reciprocal diagonal with the solve site, Sec. VI-A), so the diagonal
+    value must live there regardless of what the mapper chose.
+    """
+    l_tile = placement.l_tile.copy()
+    indptr, indices = lower.indptr, lower.indices
+    for i in range(lower.n_rows):
+        for k in range(indptr[i], indptr[i + 1]):
+            if indices[k] == i:
+                l_tile[k] = placement.vec_tile[i]
+    return Placement(
+        n_tiles=placement.n_tiles,
+        a_tile=placement.a_tile,
+        l_tile=l_tile,
+        vec_tile=placement.vec_tile,
+        mapper=placement.mapper,
+    )
+
+
+def placement_stats(placement: Placement) -> dict:
+    """Load-balance summary of a placement."""
+    counts = placement.tile_nnz_counts()
+    vec_counts = np.bincount(
+        placement.vec_tile, minlength=placement.n_tiles
+    )
+    return {
+        "mapper": placement.mapper,
+        "n_tiles": placement.n_tiles,
+        "nnz_per_tile_max": int(counts.max()),
+        "nnz_per_tile_mean": float(counts.mean()),
+        "nnz_imbalance": float(counts.max() / counts.mean())
+        if counts.mean() > 0 else 0.0,
+        "vec_per_tile_max": int(vec_counts.max()),
+    }

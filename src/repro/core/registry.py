@@ -1,0 +1,26 @@
+"""Mapper registry: the four strategies compared in Sec. VI-C."""
+
+from __future__ import annotations
+
+from repro.core.azul_mapping import map_azul
+from repro.core.block import map_block
+from repro.core.round_robin import map_round_robin
+from repro.core.sparsep import map_sparsep
+
+#: Name -> mapper callable ``(matrix, lower, n_tiles, **kwargs) -> Placement``.
+MAPPERS = {
+    "round_robin": map_round_robin,
+    "block": map_block,
+    "sparsep": map_sparsep,
+    "azul": map_azul,
+}
+
+
+def get_mapper(name: str):
+    """Look up a mapper by name."""
+    try:
+        return MAPPERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mapper {name!r}; choices: {sorted(MAPPERS)}"
+        ) from None

@@ -1,0 +1,27 @@
+"""Round Robin mapping (Dalorex's strategy, Sec. III).
+
+Nonzeros are listed in row-major order and nonzero ``i`` is assigned to
+tile ``i mod P``.  Position-based and sparsity-pattern agnostic: rows
+and columns shatter across all tiles, so nearly every value must travel
+over the NoC — the traffic pathology Fig. 11 quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement import Placement, pin_diagonals
+from repro.sparse.csr import CSRMatrix
+
+
+def map_round_robin(matrix: CSRMatrix, lower: CSRMatrix,
+                    n_tiles: int) -> Placement:
+    """Assign operands round-robin over the tiles."""
+    placement = Placement(
+        n_tiles=n_tiles,
+        a_tile=np.arange(matrix.nnz, dtype=np.int64) % n_tiles,
+        l_tile=np.arange(lower.nnz, dtype=np.int64) % n_tiles,
+        vec_tile=np.arange(matrix.n_rows, dtype=np.int64) % n_tiles,
+        mapper="round_robin",
+    )
+    return pin_diagonals(placement, lower)

@@ -1,0 +1,144 @@
+"""Static NoC-traffic analysis of a placement (Figs. 10/11 machinery).
+
+Given a placement, every kernel's communication is fully determined
+(Sec. IV-A):
+
+* SpMV: ``v_j`` is multicast from its home down column ``j``'s tiles;
+  per-row partial sums are reduced into ``y_i``'s home.
+* forward SpTRSV with L: solved ``x_j`` is multicast down L's column
+  ``j``; row partials reduce into the solve site of ``x_i``.
+* backward SpTRSV with L^T: columns and rows swap roles (L^T's column
+  ``j`` is L's row ``j``).
+
+Messages are counted per the paper's model — a set spanning N tiles
+induces N-1 messages — and link activations come from the actual
+multicast/reduction trees on the torus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.multicast import build_multicast_tree
+from repro.comm.reduction import build_reduction_tree
+from repro.comm.torus import TorusGeometry
+from repro.core.placement import Placement
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class KernelTraffic:
+    """Traffic of one kernel under one placement."""
+
+    name: str
+    multicast_messages: int = 0
+    reduction_messages: int = 0
+    link_activations: int = 0
+    per_link: dict = field(default_factory=dict)
+
+    @property
+    def total_messages(self) -> int:
+        return self.multicast_messages + self.reduction_messages
+
+
+@dataclass
+class TrafficReport:
+    """Traffic of a full PCG iteration under one placement."""
+
+    mapper: str
+    kernels: list
+
+    @property
+    def total_messages(self) -> int:
+        return sum(k.total_messages for k in self.kernels)
+
+    @property
+    def total_link_activations(self) -> int:
+        return sum(k.link_activations for k in self.kernels)
+
+    def max_link_load(self) -> int:
+        """Activations on the single busiest directed link."""
+        load = {}
+        for kernel in self.kernels:
+            for link, count in kernel.per_link.items():
+                load[link] = load.get(link, 0) + count
+        return max(load.values()) if load else 0
+
+
+def _tiles_by_group(group_ids: np.ndarray, tiles: np.ndarray, n_groups: int):
+    """For each group id, the sorted unique tiles holding its members."""
+    order = np.argsort(group_ids, kind="stable")
+    sorted_groups = group_ids[order]
+    sorted_tiles = tiles[order]
+    starts = np.searchsorted(sorted_groups, np.arange(n_groups + 1))
+    return [
+        np.unique(sorted_tiles[starts[g]:starts[g + 1]])
+        for g in range(n_groups)
+    ]
+
+
+def _kernel_traffic(name: str, torus: TorusGeometry,
+                    col_tiles: list, row_tiles: list,
+                    vec_tile: np.ndarray) -> KernelTraffic:
+    """Traffic of one kernel given per-column and per-row tile sets."""
+    traffic = KernelTraffic(name)
+    per_link = traffic.per_link
+    for j, tiles in enumerate(col_tiles):
+        home = int(vec_tile[j])
+        destinations = [t for t in tiles if t != home]
+        if not destinations:
+            continue
+        traffic.multicast_messages += len(destinations)
+        tree = build_multicast_tree(torus, home, destinations)
+        traffic.link_activations += tree.n_link_activations
+        for edge in tree.edges:
+            per_link[edge] = per_link.get(edge, 0) + 1
+    for i, tiles in enumerate(row_tiles):
+        home = int(vec_tile[i])
+        sources = [t for t in tiles if t != home]
+        if not sources:
+            continue
+        traffic.reduction_messages += len(sources)
+        tree = build_reduction_tree(torus, home, sources)
+        traffic.link_activations += tree.n_link_activations
+        for edge in tree.edges:
+            per_link[edge] = per_link.get(edge, 0) + 1
+    return traffic
+
+
+def analyze_traffic(placement: Placement, matrix: CSRMatrix,
+                    lower: CSRMatrix, torus: TorusGeometry) -> TrafficReport:
+    """Full-iteration traffic: SpMV + forward SpTRSV + backward SpTRSV."""
+    n = matrix.n_rows
+    a_rows = np.repeat(np.arange(n), matrix.row_nnz())
+    a_cols = matrix.indices
+    l_rows = np.repeat(np.arange(n), lower.row_nnz())
+    l_cols = lower.indices
+    # Off-diagonal entries only: diagonal work is local to the home tile.
+    l_off = l_rows != l_cols
+
+    spmv = _kernel_traffic(
+        "spmv", torus,
+        _tiles_by_group(a_cols, placement.a_tile, n),
+        _tiles_by_group(a_rows, placement.a_tile, n),
+        placement.vec_tile,
+    )
+    forward = _kernel_traffic(
+        "sptrsv_lower", torus,
+        _tiles_by_group(l_cols[l_off], placement.l_tile[l_off], n),
+        _tiles_by_group(l_rows[l_off], placement.l_tile[l_off], n),
+        placement.vec_tile,
+    )
+    # L^T solve: L's rows become columns and vice versa.
+    backward = _kernel_traffic(
+        "sptrsv_upper", torus,
+        _tiles_by_group(l_rows[l_off], placement.l_tile[l_off], n),
+        _tiles_by_group(l_cols[l_off], placement.l_tile[l_off], n),
+        placement.vec_tile,
+    )
+    return TrafficReport(
+        mapper=placement.mapper,
+        kernels=[spmv, forward, backward],
+    )

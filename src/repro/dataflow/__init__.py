@@ -1,0 +1,39 @@
+"""Dataflow task-graph construction (Sec. IV-A).
+
+Azul kernels execute as dataflow graphs of tasks: all memory accesses
+are local, and inter-tile communication is messages that trigger tasks
+on the destination tile (Fig. 13).  This subpackage compiles a mapped
+kernel (matrix + placement) into the per-tile task structures, multicast
+trees, and reduction trees the simulator executes.
+"""
+
+from repro.dataflow.messages import Message, MessageKind
+from repro.dataflow.tasks import OpKind, TaskKind
+from repro.dataflow.spmv_graph import build_spmv_program
+from repro.dataflow.sptrsv_graph import (
+    build_sptrsv_program,
+    transpose_with_mapping,
+)
+from repro.dataflow.kernel_program import KernelProgram
+from repro.dataflow.vector_ops import (
+    VectorPhaseModel,
+    dot_allreduce_cycles,
+    axpy_cycles,
+)
+from repro.dataflow.program import PCGIterationProgram, build_pcg_program
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "OpKind",
+    "TaskKind",
+    "KernelProgram",
+    "build_spmv_program",
+    "build_sptrsv_program",
+    "transpose_with_mapping",
+    "VectorPhaseModel",
+    "dot_allreduce_cycles",
+    "axpy_cycles",
+    "PCGIterationProgram",
+    "build_pcg_program",
+]

@@ -1,0 +1,44 @@
+"""Message types exchanged between tiles.
+
+Two message kinds suffice for SpMV and SpTRSV (Sec. IV-A):
+
+* ``VALUE`` — a vector element (``v_j`` in SpMV, a solved ``x_j`` in
+  SpTRSV) multicast down a tree to every tile holding a nonzero of
+  column ``j``; triggers a ScaleAndAccumCol task on arrival.
+* ``PARTIAL`` — a per-row partial sum traveling up a reduction tree
+  toward the row's home; triggers a ReduceY/Add task on arrival.
+
+Each message occupies one 96-bit flit: a 64-bit double plus 32 bits of
+metadata (the index and tree id).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MessageKind(enum.Enum):
+    """Kinds of NoC messages."""
+
+    VALUE = "value"
+    PARTIAL = "partial"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message flit.
+
+    Attributes
+    ----------
+    kind:
+        VALUE (multicast payload) or PARTIAL (reduction payload).
+    index:
+        The vector/row index the payload belongs to.
+    value:
+        The 64-bit floating-point payload.
+    """
+
+    kind: MessageKind
+    index: int
+    value: float

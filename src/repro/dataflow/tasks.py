@@ -1,0 +1,35 @@
+"""Operation and task vocabulary of the Azul PE (Sec. V-A).
+
+The PE executes four operation kinds, all flowing through the same
+pipeline:
+
+* ``FMAC`` — fused multiply-accumulate into an Accumulator-SRAM word
+  (the dominant op of ScaleAndAccumCol).
+* ``ADD``  — standalone add (merging reduction partials).
+* ``MUL``  — standalone multiply (solving ``x_i = acc * (1/d_i)``).
+* ``SEND`` — push a value into the router.
+
+Tasks group the operations triggered by one message.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpKind(enum.IntEnum):
+    """PE operation kinds (cycle-breakdown categories of Fig. 21)."""
+
+    FMAC = 0
+    ADD = 1
+    MUL = 2
+    SEND = 3
+
+
+class TaskKind(enum.Enum):
+    """Task types of the SpMV/SpTRSV dataflow (Fig. 13)."""
+
+    SEND_V = "send_v"                  # initial multicast of held values
+    SCALE_AND_ACCUM_COL = "saac"       # Listing 2
+    REDUCE = "reduce"                  # merge an incoming partial
+    SOLVE_ROW = "solve_row"            # SpTRSV: x_i = acc * (1/d_i)

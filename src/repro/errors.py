@@ -1,0 +1,54 @@
+"""Exception hierarchy for the Azul reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MatrixFormatError(ReproError):
+    """A sparse matrix is malformed or in the wrong format for an operation."""
+
+
+class NotTriangularError(MatrixFormatError):
+    """A triangular solve was requested on a non-triangular matrix."""
+
+
+class SingularMatrixError(ReproError):
+    """A solve encountered a zero (or numerically-zero) pivot."""
+
+
+class NotSymmetricError(MatrixFormatError):
+    """An operation requiring a symmetric matrix received an asymmetric one."""
+
+
+class PreconditionerError(ReproError):
+    """Preconditioner construction failed (e.g. IC(0) breakdown)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, message, result=None):
+        super().__init__(message)
+        #: The partial :class:`~repro.solvers.base.SolveResult`, if available.
+        self.result = result
+
+
+class PartitionError(ReproError):
+    """Hypergraph partitioning failed or produced an invalid partition."""
+
+
+class MappingError(ReproError):
+    """A data mapping is invalid (e.g. capacity exceeded, unmapped operand)."""
+
+
+class SimulationError(ReproError):
+    """The hardware simulator reached an inconsistent state (e.g. deadlock)."""
+
+
+class CapacityError(MappingError):
+    """Mapped data does not fit in the per-tile SRAM budget."""

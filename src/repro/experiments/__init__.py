@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``run(...) -> ExperimentResult`` reproducing the
+rows/series of one artifact from the paper's evaluation, and can be run
+standalone via ``python -m repro.experiments.runner <id>``.  See
+DESIGN.md for the experiment index and EXPERIMENTS.md for
+paper-vs-measured records.
+"""
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

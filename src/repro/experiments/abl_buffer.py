@@ -1,0 +1,66 @@
+"""Ablation: incoming-message buffer size (Sec. V-A, last paragraph).
+
+"Each tile contains a small register-based buffer for storing incoming
+messages.  To avoid deadlocks, if the buffer becomes full, additional
+incoming messages are spilled to the Data SRAM."  This ablation sweeps
+the buffer size, reporting spill counts and the cycle cost of the
+spill round-trips.
+"""
+
+from __future__ import annotations
+
+from repro.config import AzulConfig
+from repro.experiments.common import (
+    default_experiment_config,
+    get_placement,
+    prepare,
+)
+from repro.perf import ExperimentResult
+from repro.sim import AzulMachine
+
+
+def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
+        buffer_sizes=(2, 4, 16, 64, 256)) -> ExperimentResult:
+    """Sweep the per-tile message-buffer capacity on one matrix."""
+    config = config or default_experiment_config()
+    prepared = prepare(matrix, scale)
+    placement = get_placement(matrix, "azul", config.num_tiles, scale=scale)
+    result = ExperimentResult(
+        experiment="abl_buffer",
+        title=f"Message-buffer size sweep on {matrix}",
+        columns=["buffer_entries", "spills", "cycles", "slowdown"],
+    )
+    baseline = None
+    for entries in reversed(sorted(buffer_sizes)):
+        swept = config.with_(msg_buffer_entries=entries)
+        machine = AzulMachine(swept)
+        timing = machine.simulate_pcg(
+            prepared.matrix, prepared.lower, placement, prepared.b,
+            check=False,
+        )
+        spills = sum(k.spills for k in timing.kernel_results)
+        if baseline is None:
+            baseline = timing.total_cycles
+        result.add_row(
+            buffer_entries=entries,
+            spills=spills,
+            cycles=timing.total_cycles,
+            slowdown=timing.total_cycles / baseline,
+        )
+    result.extras = {
+        "max_slowdown": max(result.column("slowdown")),
+        "max_spills": max(result.column("spills")),
+    }
+    result.notes = (
+        "Tiny buffers spill heavily to the Data SRAM but degrade "
+        "gracefully (no deadlock) — the paper's overflow design point."
+    )
+    return result
+
+
+def main():
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

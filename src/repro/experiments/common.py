@@ -1,0 +1,166 @@
+"""Shared experiment infrastructure: preparation and caching.
+
+Preparing a matrix for an experiment means: build the suite analog,
+color + permute it (the paper's default preprocessing), and compute the
+IC(0) factor.  Azul mappings are expensive (Sec. VI-D), so placements
+are cached on disk keyed by (matrix, scale, mapper, tiles, preset) —
+exactly how a user of the real system would amortize mapping cost
+across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import AzulConfig
+from repro.core import Placement, get_mapper
+from repro.graph import color_and_permute
+from repro.hypergraph import PartitionerOptions
+from repro.precond import ic0
+from repro.sim import AzulMachine, pe_model_by_name
+from repro.sparse.generators import make_rhs
+from repro.sparse.suite import REPRESENTATIVE, get_suite_matrix, suite_names
+
+
+def default_experiment_config() -> AzulConfig:
+    """The scaled-down default machine: 8x8 tiles (see DESIGN.md)."""
+    return AzulConfig(mesh_rows=8, mesh_cols=8)
+
+
+def default_matrices() -> list:
+    """The representative six-matrix subset used by most experiments."""
+    return list(REPRESENTATIVE)
+
+
+def full_suite_matrices() -> list:
+    """All twenty small-section matrices (paper's main evaluation set)."""
+    return suite_names("small")
+
+
+@dataclass(frozen=True)
+class PreparedMatrix:
+    """A suite matrix after the paper's standard preprocessing."""
+
+    name: str
+    scale: int
+    matrix: object  # colored+permuted CSRMatrix
+    lower: object   # IC(0) factor of the permuted matrix
+    b: np.ndarray
+
+
+@lru_cache(maxsize=64)
+def prepare(name: str, scale: int = 1) -> PreparedMatrix:
+    """Build, color+permute, and factor one suite matrix (cached)."""
+    matrix, b = get_suite_matrix(name, scale=scale)
+    permuted, permuted_b, _ = color_and_permute(matrix, b)
+    lower = ic0(permuted)
+    return PreparedMatrix(
+        name=name, scale=scale, matrix=permuted, lower=lower, b=permuted_b
+    )
+
+
+# ----------------------------------------------------------------------
+# Placement cache
+# ----------------------------------------------------------------------
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        path = Path(override)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".cache" / "placements"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _placement_key(name, scale, mapper, n_tiles, preset) -> str:
+    raw = f"{name}:{scale}:{mapper}:{n_tiles}:{preset}:v1"
+    return hashlib.sha1(raw.encode()).hexdigest()[:20]
+
+
+def mapper_options(preset: str) -> PartitionerOptions:
+    """Partitioner preset used for Azul mappings in experiments."""
+    if preset == "speed":
+        return PartitionerOptions.speed(seed=0)
+    if preset == "quality":
+        return PartitionerOptions.quality(seed=0)
+    return PartitionerOptions(seed=0)
+
+
+def get_placement(name: str, mapper: str, n_tiles: int, scale: int = 1,
+                  preset: str = "speed", use_cache: bool = True) -> Placement:
+    """Map one prepared matrix with one strategy, with disk caching.
+
+    Returns the placement; Azul mappings additionally record their
+    mapping wall-clock time in ``placement_seconds`` (used by the
+    Sec. VI-D cost comparison).
+    """
+    prepared = prepare(name, scale)
+    cache_file = _cache_dir() / (
+        _placement_key(name, scale, mapper, n_tiles, preset) + ".npz"
+    )
+    if use_cache and cache_file.exists():
+        data = np.load(cache_file)
+        placement = Placement(
+            n_tiles=n_tiles,
+            a_tile=data["a_tile"],
+            l_tile=data["l_tile"],
+            vec_tile=data["vec_tile"],
+            mapper=str(data["mapper"]),
+        )
+        placement.placement_seconds = float(data["seconds"])
+        return placement
+
+    mapper_fn = get_mapper(mapper)
+    start = time.perf_counter()
+    if mapper == "azul":
+        placement = mapper_fn(
+            prepared.matrix, prepared.lower, n_tiles,
+            options=mapper_options(preset),
+        )
+    else:
+        placement = mapper_fn(prepared.matrix, prepared.lower, n_tiles)
+    seconds = time.perf_counter() - start
+    placement.placement_seconds = seconds
+    if use_cache:
+        np.savez_compressed(
+            cache_file,
+            a_tile=placement.a_tile,
+            l_tile=placement.l_tile,
+            vec_tile=placement.vec_tile,
+            mapper=placement.mapper,
+            seconds=seconds,
+        )
+    return placement
+
+
+# ----------------------------------------------------------------------
+# Simulation cache (in-memory, keyed by full configuration)
+# ----------------------------------------------------------------------
+_SIM_CACHE = {}
+
+
+def simulate(name: str, mapper: str = "azul", pe: str = "azul",
+             config: AzulConfig = None, scale: int = 1,
+             preset: str = "speed", check: bool = True):
+    """Simulate one steady-state PCG iteration (cached per process)."""
+    config = config or default_experiment_config()
+    key = (name, mapper, pe, scale, preset, config)
+    if key in _SIM_CACHE:
+        return _SIM_CACHE[key]
+    prepared = prepare(name, scale)
+    placement = get_placement(
+        name, mapper, config.num_tiles, scale=scale, preset=preset
+    )
+    machine = AzulMachine(config, pe_model_by_name(pe))
+    result = machine.simulate_pcg(
+        prepared.matrix, prepared.lower, placement, prepared.b, check=check
+    )
+    _SIM_CACHE[key] = result
+    return result

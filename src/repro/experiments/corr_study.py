@@ -1,0 +1,80 @@
+"""Extension: spatial correlation vs position-based mapping quality.
+
+Tests Sec. VI-C's explanatory claim directly: position-based mappings
+(Block) approach Azul's traffic only on spatially correlated patterns;
+on uncorrelated patterns their traffic blows up.  Reports, per matrix,
+the spatial-correlation metric and the Block/Azul traffic ratio, and
+their rank correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm import TorusGeometry
+from repro.config import AzulConfig
+from repro.core import analyze_traffic
+from repro.experiments.common import (
+    default_experiment_config,
+    default_matrices,
+    get_placement,
+    prepare,
+)
+from repro.perf import ExperimentResult
+from repro.sparse.analysis import spatial_correlation
+
+
+def run(matrices=None, config: AzulConfig = None,
+        scale: int = 1) -> ExperimentResult:
+    """Correlate pattern structure with Block-mapping effectiveness."""
+    matrices = matrices or (default_matrices() + ["G3_circuit", "tmt_sym"])
+    config = config or default_experiment_config()
+    torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
+    result = ExperimentResult(
+        experiment="corr_study",
+        title="Spatial correlation vs Block-mapping traffic penalty",
+        columns=["matrix", "correlation", "block_vs_azul_traffic"],
+    )
+    for name in matrices:
+        prepared = prepare(name, scale)
+        correlation = spatial_correlation(prepared.matrix)
+        block = get_placement(name, "block", config.num_tiles, scale=scale)
+        azul = get_placement(name, "azul", config.num_tiles, scale=scale)
+        block_traffic = analyze_traffic(
+            block, prepared.matrix, prepared.lower, torus
+        ).total_link_activations
+        azul_traffic = analyze_traffic(
+            azul, prepared.matrix, prepared.lower, torus
+        ).total_link_activations
+        result.add_row(
+            matrix=name,
+            correlation=correlation,
+            block_vs_azul_traffic=block_traffic / max(azul_traffic, 1),
+        )
+    correlations = np.array(result.column("correlation"))
+    penalties = np.array(result.column("block_vs_azul_traffic"))
+    # Spearman rank correlation between structure and Block's penalty.
+    rank_a = np.argsort(np.argsort(correlations)).astype(float)
+    rank_b = np.argsort(np.argsort(-penalties)).astype(float)
+    if np.std(rank_a) > 0 and np.std(rank_b) > 0:
+        spearman = float(np.corrcoef(rank_a, rank_b)[0, 1])
+    else:
+        spearman = 0.0
+    result.extras = {"spearman": spearman}
+    result.notes = (
+        f"Rank correlation between spatial correlation and Block's "
+        f"traffic penalty: {spearman:+.2f} (positive = more correlated "
+        "patterns suffer less from position-based mapping, Sec. VI-C's "
+        "claim). Note: the coloring permutation itself scrambles "
+        "correlation, which is partly why Azul's pattern-aware mapping "
+        "is needed after the parallelism preprocessing."
+    )
+    return result
+
+
+def main():
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Fig. 2 analog: the headline summary bars.
+
+Gmean PCG throughput of (1) Azul, (2) Azul PEs with Dalorex's
+round-robin mapping, (3) Dalorex, and (4) the GPU — showing that both
+ingredients (mapping and PE) are necessary (Sec. I).
+"""
+
+from __future__ import annotations
+
+from repro.config import AzulConfig
+from repro.experiments.common import (
+    default_experiment_config,
+    default_matrices,
+    prepare,
+    simulate,
+)
+from repro.models import GPUModel
+from repro.perf import ExperimentResult, gmean
+
+
+def run(matrices=None, config: AzulConfig = None,
+        scale: int = 1) -> ExperimentResult:
+    """Gmean GFLOP/s of the four headline configurations."""
+    matrices = matrices or default_matrices()
+    config = config or default_experiment_config()
+    gpu = GPUModel()
+
+    gpu_gflops = []
+    dalorex_gflops = []
+    azul_rr_gflops = []
+    azul_gflops = []
+    for name in matrices:
+        prepared = prepare(name, scale)
+        gpu_gflops.append(gpu.gflops(prepared.matrix, prepared.lower))
+        dalorex_gflops.append(
+            simulate(name, mapper="round_robin", pe="dalorex",
+                     config=config, scale=scale).gflops()
+        )
+        azul_rr_gflops.append(
+            simulate(name, mapper="round_robin", pe="azul",
+                     config=config, scale=scale).gflops()
+        )
+        azul_gflops.append(
+            simulate(name, mapper="azul", pe="azul",
+                     config=config, scale=scale).gflops()
+        )
+
+    result = ExperimentResult(
+        experiment="fig02",
+        title="Headline gmean PCG throughput (GFLOP/s)",
+        columns=["configuration", "gmean_gflops", "vs_gpu"],
+    )
+    reference = gmean(gpu_gflops)
+    for label, values in (
+        ("Azul", azul_gflops),
+        ("Azul PEs + Dalorex mapping", azul_rr_gflops),
+        ("Dalorex", dalorex_gflops),
+        ("GPU (V100 model)", gpu_gflops),
+    ):
+        value = gmean(values)
+        result.add_row(
+            configuration=label,
+            gmean_gflops=value,
+            vs_gpu=value / reference,
+        )
+    result.notes = (
+        "Paper shape (Fig. 2): Azul >> Azul-PEs-with-RR-mapping >> "
+        "Dalorex > GPU; both the mapping and the PE are required. "
+        f"Machine peak here: {config.peak_flops / 1e9:.0f} GFLOP/s."
+    )
+    result.extras = {
+        "azul": gmean(azul_gflops),
+        "azul_rr": gmean(azul_rr_gflops),
+        "dalorex": gmean(dalorex_gflops),
+        "gpu": gmean(gpu_gflops),
+    }
+    return result
+
+
+def main():
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Fig. 3 analog: GPU PCG runtime breakdown by kernel.
+
+The paper shows SpTRSV and SpMV dominating Ginkgo PCG runtime on a
+V100, with SpTRSV the largest share on most matrices.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import default_matrices, prepare
+from repro.models import GPUModel
+from repro.perf import ExperimentResult
+
+
+def run(matrices=None, scale: int = 1) -> ExperimentResult:
+    """Per-kernel GPU runtime fractions for the representative set."""
+    matrices = matrices or default_matrices()
+    model = GPUModel()
+    result = ExperimentResult(
+        experiment="fig03",
+        title="GPU PCG runtime breakdown by kernel (normalized)",
+        columns=["matrix", "sptrsv", "spmv", "vector"],
+    )
+    for name in matrices:
+        prepared = prepare(name, scale)
+        fractions = model.pcg_iteration_time(
+            prepared.matrix, prepared.lower
+        ).fractions()
+        result.add_row(
+            matrix=name,
+            sptrsv=fractions["sptrsv"],
+            spmv=fractions["spmv"],
+            vector=fractions["vector"],
+        )
+    result.notes = (
+        "Paper shape: SpMV + SpTRSV dominate, SpTRSV largest on most "
+        "matrices (Fig. 3)."
+    )
+    return result
+
+
+def main():
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

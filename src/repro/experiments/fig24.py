@@ -1,0 +1,46 @@
+"""Fig. 24 analog: power breakdown by component.
+
+Per-matrix power while running PCG steady state, split into SRAM,
+compute, NoC, and leakage, from simulation activity factors.  The
+paper's shape: SRAM dominates (the machine is an SRAM array with
+attached arithmetic), total 210 W average at 4096 tiles.
+"""
+
+from __future__ import annotations
+
+from repro.config import AzulConfig
+from repro.experiments.common import default_experiment_config, \
+    default_matrices, simulate
+from repro.models import power_report
+from repro.perf import ExperimentResult
+
+
+def run(matrices=None, config: AzulConfig = None,
+        scale: int = 1) -> ExperimentResult:
+    """Estimate power for each matrix from simulated activity."""
+    matrices = matrices or default_matrices()
+    config = config or default_experiment_config()
+    result = ExperimentResult(
+        experiment="fig24",
+        title="Azul power by component (watts)",
+        columns=["matrix", "sram", "compute", "noc", "leakage", "total"],
+    )
+    for name in matrices:
+        sim = simulate(name, mapper="azul", pe="azul",
+                       config=config, scale=scale)
+        report = power_report(sim, config)
+        result.add_row(matrix=name, **report.as_dict())
+    result.notes = (
+        "Paper shape (Fig. 24): SRAM dominates dynamic power; the "
+        "simulated machine has 64x fewer tiles, so absolute watts are "
+        "proportionally lower than the paper's 210 W average."
+    )
+    return result
+
+
+def main():
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Fig. 26 analog: sensitivity to SRAM access latency.
+
+Gmean throughput sweeping scratchpad latency from 1 to 4 cycles; the
+paper measures ~3% loss per extra cycle (multithreading hides latency).
+"""
+
+from __future__ import annotations
+
+from repro.config import AzulConfig
+from repro.experiments.common import default_experiment_config, \
+    default_matrices, simulate
+from repro.perf import ExperimentResult, gmean
+
+
+def run(matrices=None, config: AzulConfig = None, scale: int = 1,
+        latencies=(1, 2, 3, 4)) -> ExperimentResult:
+    """Sweep SRAM latency and report gmean GFLOP/s."""
+    matrices = matrices or default_matrices()
+    config = config or default_experiment_config()
+    result = ExperimentResult(
+        experiment="fig26",
+        title="SRAM-latency sweep: gmean PCG GFLOP/s",
+        columns=["sram_cycles", "gmean_gflops", "relative"],
+    )
+    baseline = None
+    for latency in latencies:
+        swept = config.with_(sram_access_cycles=latency)
+        values = [
+            simulate(name, mapper="azul", pe="azul",
+                     config=swept, scale=scale).gflops()
+            for name in matrices
+        ]
+        value = gmean(values)
+        if baseline is None:
+            baseline = value
+        result.add_row(
+            sram_cycles=latency, gmean_gflops=value,
+            relative=value / baseline,
+        )
+    slope = (1.0 - result.rows[-1]["relative"]) / (len(latencies) - 1)
+    result.extras = {"loss_per_cycle": slope}
+    result.notes = (
+        f"~{100 * slope:.1f}% gmean throughput lost per extra SRAM cycle "
+        "(paper: ~3%, Fig. 26)."
+    )
+    return result
+
+
+def main():
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Fig. 27 analog: fine-grained multithreading ablation.
+
+Gmean throughput of multithreaded vs single-threaded PEs; the paper
+measures a 1.5x gain from hiding accumulator-dependence stalls.
+"""
+
+from __future__ import annotations
+
+from repro.config import AzulConfig
+from repro.experiments.common import default_experiment_config, \
+    default_matrices, simulate
+from repro.perf import ExperimentResult, gmean
+
+
+def run(matrices=None, config: AzulConfig = None,
+        scale: int = 1) -> ExperimentResult:
+    """Compare multithreaded and single-threaded PE configurations."""
+    matrices = matrices or default_matrices()
+    config = config or default_experiment_config()
+    result = ExperimentResult(
+        experiment="fig27",
+        title="Multithreading ablation: gmean PCG GFLOP/s",
+        columns=["pe", "gmean_gflops"],
+    )
+    values = {}
+    for pe in ("azul", "azul_single"):
+        values[pe] = gmean([
+            simulate(name, mapper="azul", pe=pe,
+                     config=config, scale=scale).gflops()
+            for name in matrices
+        ])
+        result.add_row(pe="multi" if pe == "azul" else "single",
+                       gmean_gflops=values[pe])
+    result.extras = {
+        "multithreading_gain": values["azul"] / values["azul_single"],
+    }
+    result.notes = (
+        f"Multithreading gain: {values['azul'] / values['azul_single']:.2f}x "
+        "(paper: 1.5x, Fig. 27)."
+    )
+    return result
+
+
+def main():
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Experiment runner: ``python -m repro.experiments.runner [ids...]``.
+
+Runs one, several, or all experiments and prints their rendered
+tables.  Experiment ids match the paper's artifact numbering (see
+DESIGN.md's per-experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import sys
+import time
+
+#: Experiment id -> module path.  Ordered roughly as in the paper.
+EXPERIMENTS = {
+    "tab4": "repro.experiments.tab4",
+    "fig01": "repro.experiments.fig01",
+    "fig02": "repro.experiments.fig02",
+    "fig03": "repro.experiments.fig03",
+    "tab1": "repro.experiments.tab1",
+    "fig07": "repro.experiments.fig07",
+    "tab2": "repro.experiments.tab2",
+    "fig09": "repro.experiments.fig09",
+    "fig10": "repro.experiments.fig10",
+    "fig11": "repro.experiments.fig11",
+    "fig17": "repro.experiments.fig17",
+    "fig20": "repro.experiments.fig20",
+    "fig21": "repro.experiments.fig21",
+    "fig22": "repro.experiments.fig22",
+    "fig23": "repro.experiments.fig23",
+    "tabD": "repro.experiments.tabD",
+    "tab5": "repro.experiments.tab5",
+    "fig24": "repro.experiments.fig24",
+    "fig25": "repro.experiments.fig25",
+    "fig26": "repro.experiments.fig26",
+    "fig27": "repro.experiments.fig27",
+    "fig28": "repro.experiments.fig28",
+    # Beyond-the-paper studies: Sec. II background + design ablations.
+    "tab_fill": "repro.experiments.tab_fill",
+    "abl_row_weight": "repro.experiments.abl_row_weight",
+    "abl_quantiles": "repro.experiments.abl_quantiles",
+    "abl_partitioner": "repro.experiments.abl_partitioner",
+    "abl_threads": "repro.experiments.abl_threads",
+    "abl_buffer": "repro.experiments.abl_buffer",
+    "abl_trees": "repro.experiments.abl_trees",
+    "tab2_sim": "repro.experiments.tab2_sim",
+    "corr_study": "repro.experiments.corr_study",
+    "ord_study": "repro.experiments.ord_study",
+    "abl_topology": "repro.experiments.abl_topology",
+    "abl_seed": "repro.experiments.abl_seed",
+    "model_validation": "repro.experiments.model_validation",
+    "eff_study": "repro.experiments.eff_study",
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id; returns its ExperimentResult."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choices: {', '.join(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(EXPERIMENTS[experiment_id])
+    return module.run(**kwargs)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Run Azul-reproduction experiments.",
+    )
+    parser.add_argument(
+        "ids", nargs="*",
+        help="experiment ids (default: all); see DESIGN.md",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit",
+    )
+    parser.add_argument(
+        "--csv-dir", default=None, metavar="DIR",
+        help="also write each result as DIR/<id>.csv",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    ids = args.ids or list(EXPERIMENTS)
+    if args.csv_dir:
+        os.makedirs(args.csv_dir, exist_ok=True)
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+        if args.csv_dir:
+            result.to_csv(
+                os.path.join(args.csv_dir, f"{experiment_id}.csv")
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Hypergraph data structure.
+
+A hypergraph generalizes a graph: each hyperedge connects a *set* of
+vertices (Sec. IV-B).  Vertices carry one weight per balance constraint;
+hyperedges carry a scalar weight.  Storage is CSR-like for both
+directions (edge -> pins and vertex -> incident edges) so partitioning
+inner loops touch flat arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+
+class Hypergraph:
+    """An undirected hypergraph with multi-constraint vertex weights.
+
+    Parameters
+    ----------
+    n_vertices:
+        Number of vertices, identified as ``0 .. n_vertices-1``.
+    edges:
+        Iterable of vertex-index sequences, one per hyperedge.  Edges
+        with fewer than two distinct pins are kept but contribute no cut.
+    edge_weights:
+        Optional per-edge weights (default 1).
+    vertex_weights:
+        Optional ``(n_vertices, n_constraints)`` array (default: a single
+        all-ones constraint).
+    """
+
+    def __init__(self, n_vertices, edges, edge_weights=None,
+                 vertex_weights=None):
+        self.n_vertices = int(n_vertices)
+        pin_lists = [np.unique(np.asarray(e, dtype=np.int64)) for e in edges]
+        for pins in pin_lists:
+            if len(pins) and (pins[0] < 0 or pins[-1] >= self.n_vertices):
+                raise PartitionError("hyperedge pin out of range")
+        self.n_edges = len(pin_lists)
+        sizes = np.array([len(p) for p in pin_lists], dtype=np.int64)
+        self.edge_ptr = np.concatenate(([0], np.cumsum(sizes)))
+        self.pins = (
+            np.concatenate(pin_lists) if pin_lists
+            else np.empty(0, dtype=np.int64)
+        )
+        if edge_weights is None:
+            self.edge_weights = np.ones(self.n_edges, dtype=np.float64)
+        else:
+            self.edge_weights = np.asarray(edge_weights, dtype=np.float64)
+            if len(self.edge_weights) != self.n_edges:
+                raise PartitionError("edge_weights length mismatch")
+        if vertex_weights is None:
+            self.vertex_weights = np.ones((self.n_vertices, 1), dtype=np.float64)
+        else:
+            vw = np.asarray(vertex_weights, dtype=np.float64)
+            if vw.ndim == 1:
+                vw = vw[:, None]
+            if vw.shape[0] != self.n_vertices:
+                raise PartitionError("vertex_weights length mismatch")
+            self.vertex_weights = vw
+        self._vertex_edge_ptr = None
+        self._vertex_edge_ids = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_constraints(self) -> int:
+        """Number of balance constraints (vertex-weight columns)."""
+        return self.vertex_weights.shape[1]
+
+    @property
+    def n_pins(self) -> int:
+        """Total number of (edge, vertex) incidences."""
+        return len(self.pins)
+
+    def edge_pins(self, e: int) -> np.ndarray:
+        """Vertices of hyperedge ``e`` (a view)."""
+        return self.pins[self.edge_ptr[e]:self.edge_ptr[e + 1]]
+
+    def edge_sizes(self) -> np.ndarray:
+        """Number of pins per edge."""
+        return np.diff(self.edge_ptr)
+
+    def __repr__(self):
+        return (
+            f"Hypergraph(vertices={self.n_vertices}, edges={self.n_edges}, "
+            f"pins={self.n_pins}, constraints={self.n_constraints})"
+        )
+
+    # ------------------------------------------------------------------
+    def _build_incidence(self):
+        """Build the vertex -> incident-edges CSR arrays."""
+        edge_ids = np.repeat(np.arange(self.n_edges), self.edge_sizes())
+        order = np.argsort(self.pins, kind="stable")
+        sorted_pins = self.pins[order]
+        counts = np.bincount(sorted_pins, minlength=self.n_vertices)
+        self._vertex_edge_ptr = np.concatenate(([0], np.cumsum(counts)))
+        self._vertex_edge_ids = edge_ids[order]
+
+    def vertex_edges(self, v: int) -> np.ndarray:
+        """Hyperedges incident to vertex ``v`` (a view)."""
+        if self._vertex_edge_ptr is None:
+            self._build_incidence()
+        return self._vertex_edge_ids[
+            self._vertex_edge_ptr[v]:self._vertex_edge_ptr[v + 1]
+        ]
+
+    def incidence_arrays(self):
+        """The flat ``(vertex_edge_ptr, vertex_edge_ids)`` CSR arrays."""
+        if self._vertex_edge_ptr is None:
+            self._build_incidence()
+        return self._vertex_edge_ptr, self._vertex_edge_ids
+
+    def total_weights(self) -> np.ndarray:
+        """Per-constraint sums of vertex weights."""
+        return self.vertex_weights.sum(axis=0)

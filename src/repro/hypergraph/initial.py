@@ -1,0 +1,79 @@
+"""Initial bisection of the coarsest hypergraph.
+
+Greedy region growing: seed one side with a random vertex and grow it by
+repeatedly absorbing the boundary vertex that uncuts the most hyperedge
+weight, until the target weight fraction is reached.  Several seeds are
+tried and the lowest-cut result kept.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.hypergraph.hgraph import Hypergraph
+from repro.hypergraph.metrics import connectivity_cut
+
+
+def _grow_once(hgraph: Hypergraph, target_fraction: float,
+               caps0: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One region-growing attempt; returns a side array (0 or 1)."""
+    n = hgraph.n_vertices
+    side = np.ones(n, dtype=np.int8)
+    totals = hgraph.total_weights()
+    target = totals * target_fraction
+    weight0 = np.zeros(hgraph.n_constraints)
+
+    def fits(v):
+        return np.all(weight0 + hgraph.vertex_weights[v] <= caps0)
+
+    def reached_target():
+        # Grown far enough once the dominant constraint hits its target.
+        nonzero = totals > 0
+        return np.all(weight0[nonzero] >= target[nonzero] * 0.98)
+
+    seed = int(rng.integers(n))
+    heap = [(0.0, seed)]
+    edge_sizes = hgraph.edge_sizes()
+
+    while heap and not reached_target():
+        _, v = heapq.heappop(heap)
+        if side[v] == 0:
+            continue
+        if not fits(v):
+            continue
+        side[v] = 0
+        weight0 += hgraph.vertex_weights[v]
+        # Push neighbors, scored by the connectivity they share with side 0.
+        # Stale duplicates are filtered by the side[v] == 0 check above.
+        for e in hgraph.vertex_edges(v):
+            e = int(e)
+            if edge_sizes[e] > 256:
+                continue
+            bonus = hgraph.edge_weights[e] / max(edge_sizes[e] - 1, 1)
+            for u in hgraph.edge_pins(e):
+                u = int(u)
+                if side[u] == 1:
+                    heapq.heappush(heap, (-bonus, u))
+        if not heap:
+            # Disconnected: restart growth from a fresh unassigned vertex.
+            remaining = np.nonzero(side == 1)[0]
+            if len(remaining) and not reached_target():
+                heapq.heappush(heap, (0.0, int(rng.choice(remaining))))
+    return side
+
+
+def greedy_bisect(hgraph: Hypergraph, target_fraction: float,
+                  caps0: np.ndarray, rng: np.random.Generator,
+                  tries: int = 4) -> np.ndarray:
+    """Best-of-``tries`` greedy growth bisection."""
+    best_side = None
+    best_cut = np.inf
+    for _ in range(max(tries, 1)):
+        side = _grow_once(hgraph, target_fraction, caps0, rng)
+        cut = connectivity_cut(hgraph, side.astype(np.int64))
+        if cut < best_cut:
+            best_cut = cut
+            best_side = side
+    return best_side

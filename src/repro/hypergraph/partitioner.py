@@ -1,0 +1,164 @@
+"""Multilevel recursive-bisection hypergraph partitioner.
+
+The top-level :func:`partition` splits a hypergraph into ``n_parts``
+balanced parts minimizing connectivity cut, via recursive bisection;
+each bisection runs the full multilevel pipeline (coarsen, initial
+partition, uncoarsen with FM refinement at every level).
+
+Quality presets mirror PaToH's speed/default/quality knobs that the
+paper mentions in Sec. VI-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.hypergraph.coarsen import coarsen
+from repro.hypergraph.hgraph import Hypergraph
+from repro.hypergraph.initial import greedy_bisect
+from repro.hypergraph.refine import fm_refine
+
+
+@dataclass(frozen=True)
+class PartitionerOptions:
+    """Tuning knobs of the multilevel partitioner.
+
+    ``epsilon`` is the allowed per-constraint imbalance (10% default,
+    a common PaToH setting).  The quality presets trade cut quality for
+    mapping time, mirroring the PaToH presets discussed in Sec. VI-D.
+    """
+
+    epsilon: float = 0.10
+    seed: int = 0
+    coarsen_until: int = 96
+    max_coarsen_levels: int = 24
+    fm_passes: int = 2
+    initial_tries: int = 4
+    stall_limit: int = 64
+
+    @classmethod
+    def speed(cls, seed: int = 0) -> "PartitionerOptions":
+        """Fastest preset: fewer tries, one FM pass."""
+        return cls(seed=seed, fm_passes=1, initial_tries=2, stall_limit=32)
+
+    @classmethod
+    def quality(cls, seed: int = 0) -> "PartitionerOptions":
+        """Highest-quality preset (the paper's choice, Sec. VI-D)."""
+        return cls(seed=seed, fm_passes=4, initial_tries=8, stall_limit=128)
+
+
+def partition(hgraph: Hypergraph, n_parts: int,
+              options: PartitionerOptions = None) -> np.ndarray:
+    """Partition a hypergraph into ``n_parts`` parts.
+
+    Returns an assignment array of length ``hgraph.n_vertices`` with
+    values in ``[0, n_parts)``.  Balance is enforced per constraint to
+    within ``1 + epsilon`` of ideal (plus single-vertex slack).
+    """
+    if n_parts < 1:
+        raise PartitionError("n_parts must be positive")
+    options = options or PartitionerOptions()
+    assignment = np.zeros(hgraph.n_vertices, dtype=np.int64)
+    if n_parts == 1 or hgraph.n_vertices == 0:
+        return assignment
+    rng = np.random.default_rng(options.seed)
+    vertex_ids = np.arange(hgraph.n_vertices)
+    _recurse(hgraph, vertex_ids, n_parts, 0, assignment, options, rng)
+    return assignment
+
+
+def _recurse(hgraph: Hypergraph, vertex_ids: np.ndarray, n_parts: int,
+             part_offset: int, assignment: np.ndarray,
+             options: PartitionerOptions, rng: np.random.Generator):
+    """Recursively bisect ``hgraph`` and write final part ids."""
+    if n_parts == 1:
+        assignment[vertex_ids] = part_offset
+        return
+    if hgraph.n_vertices <= n_parts:
+        # Degenerate: scatter vertices round-robin over the parts.
+        for i in range(hgraph.n_vertices):
+            assignment[vertex_ids[i]] = part_offset + (i % n_parts)
+        return
+    k0 = n_parts // 2
+    fraction = k0 / n_parts
+    side = multilevel_bisect(hgraph, fraction, options, rng)
+
+    left_mask = side == 0
+    left_ids = vertex_ids[left_mask]
+    right_ids = vertex_ids[~left_mask]
+    left_sub, left_local = _induced(hgraph, left_mask)
+    right_sub, right_local = _induced(hgraph, ~left_mask)
+    del left_local, right_local
+    _recurse(left_sub, left_ids, k0, part_offset, assignment, options, rng)
+    _recurse(
+        right_sub, right_ids, n_parts - k0, part_offset + k0,
+        assignment, options, rng,
+    )
+
+
+def _induced(hgraph: Hypergraph, mask: np.ndarray):
+    """Sub-hypergraph induced by the masked vertices.
+
+    Edges are restricted to surviving pins; edges left with fewer than
+    two pins are dropped (they cannot be cut again).
+    """
+    new_ids = np.full(hgraph.n_vertices, -1, dtype=np.int64)
+    kept = np.nonzero(mask)[0]
+    new_ids[kept] = np.arange(len(kept))
+    edges = []
+    weights = []
+    for e in range(hgraph.n_edges):
+        pins = hgraph.edge_pins(e)
+        local = new_ids[pins]
+        local = local[local >= 0]
+        if len(local) >= 2:
+            edges.append(local)
+            weights.append(hgraph.edge_weights[e])
+    sub = Hypergraph(
+        len(kept), edges, np.array(weights), hgraph.vertex_weights[kept]
+    )
+    return sub, new_ids
+
+
+def _caps(hgraph: Hypergraph, fraction: float, epsilon: float) -> np.ndarray:
+    """Per-side weight ceilings for a (fraction, 1-fraction) bisection."""
+    totals = hgraph.total_weights()
+    slack = hgraph.vertex_weights.max(axis=0)
+    caps = np.empty((2, hgraph.n_constraints))
+    caps[0] = totals * fraction * (1.0 + epsilon) + slack
+    caps[1] = totals * (1.0 - fraction) * (1.0 + epsilon) + slack
+    return caps
+
+
+def multilevel_bisect(hgraph: Hypergraph, fraction: float,
+                      options: PartitionerOptions,
+                      rng: np.random.Generator) -> np.ndarray:
+    """One multilevel bisection: coarsen, initial partition, refine up."""
+    levels, mappings = coarsen(
+        hgraph, rng,
+        stop_at=options.coarsen_until,
+        max_levels=options.max_coarsen_levels,
+    )
+    coarsest = levels[-1]
+    caps = _caps(coarsest, fraction, options.epsilon)
+    side = greedy_bisect(
+        coarsest, fraction, caps[0], rng, tries=options.initial_tries
+    )
+    side = fm_refine(
+        coarsest, side, caps,
+        passes=options.fm_passes, stall_limit=options.stall_limit,
+    )
+    # Project back through the levels, refining at each.
+    for level_index in range(len(mappings) - 1, -1, -1):
+        fine = levels[level_index]
+        mapping = mappings[level_index]
+        side = side[mapping]
+        caps = _caps(fine, fraction, options.epsilon)
+        side = fm_refine(
+            fine, side, caps,
+            passes=options.fm_passes, stall_limit=options.stall_limit,
+        )
+    return side

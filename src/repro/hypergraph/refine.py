@@ -1,0 +1,149 @@
+"""Fiduccia-Mattheyses (FM) boundary refinement for bisections.
+
+Standard FM with a lazy-deletion heap: vertices are moved in best-gain
+order (each at most once per pass), the best prefix of the move sequence
+is kept, and the rest rolled back.  Moves must respect per-constraint
+weight caps on the receiving side, which is how the multi-constraint
+balance of Sec. IV-C is enforced during refinement.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.hypergraph.hgraph import Hypergraph
+
+
+class _BisectionState:
+    """Incremental cut/gain bookkeeping for one bisection."""
+
+    def __init__(self, hgraph: Hypergraph, side: np.ndarray):
+        self.hgraph = hgraph
+        self.side = side
+        self.edge_sizes = hgraph.edge_sizes()
+        # Pins of each edge currently on side 0.
+        self.count0 = np.zeros(hgraph.n_edges, dtype=np.int64)
+        pin_sides = side[hgraph.pins]
+        for e in range(hgraph.n_edges):
+            start, end = hgraph.edge_ptr[e], hgraph.edge_ptr[e + 1]
+            self.count0[e] = int((pin_sides[start:end] == 0).sum())
+        self.part_weights = np.zeros((2, hgraph.n_constraints))
+        for s in (0, 1):
+            members = side == s
+            self.part_weights[s] = hgraph.vertex_weights[members].sum(axis=0)
+
+    def gain(self, v: int) -> float:
+        """Cut reduction if ``v`` switches sides."""
+        s = self.side[v]
+        total = 0.0
+        for e in self.hgraph.vertex_edges(v):
+            e = int(e)
+            size = self.edge_sizes[e]
+            on_my_side = self.count0[e] if s == 0 else size - self.count0[e]
+            if on_my_side == 1:
+                total += self.hgraph.edge_weights[e]  # move uncuts the edge
+            elif on_my_side == size:
+                total -= self.hgraph.edge_weights[e]  # move cuts the edge
+        return total
+
+    def move(self, v: int):
+        """Switch ``v``'s side, updating edge counts and part weights."""
+        s = int(self.side[v])
+        delta = -1 if s == 0 else 1
+        for e in self.hgraph.vertex_edges(v):
+            self.count0[int(e)] += delta
+        self.part_weights[s] -= self.hgraph.vertex_weights[v]
+        self.part_weights[1 - s] += self.hgraph.vertex_weights[v]
+        self.side[v] = 1 - s
+
+    def fits_after_move(self, v: int, caps: np.ndarray) -> bool:
+        """Whether moving ``v`` keeps the receiving side under its caps."""
+        destination = 1 - int(self.side[v])
+        new_weight = (
+            self.part_weights[destination] + self.hgraph.vertex_weights[v]
+        )
+        return bool(np.all(new_weight <= caps[destination]))
+
+
+def fm_refine(hgraph: Hypergraph, side: np.ndarray, caps: np.ndarray,
+              passes: int = 2, stall_limit: int = 64) -> np.ndarray:
+    """Refine a bisection in place; returns the refined side array.
+
+    Parameters
+    ----------
+    side:
+        Current 0/1 assignment (modified in place).
+    caps:
+        ``(2, n_constraints)`` per-side weight ceilings.
+    passes:
+        Maximum number of full FM passes.
+    stall_limit:
+        A pass aborts after this many consecutive non-improving moves.
+    """
+    state = _BisectionState(hgraph, side)
+    for _ in range(passes):
+        improved = _fm_pass(hgraph, state, caps, stall_limit)
+        if not improved:
+            break
+    return side
+
+
+def _boundary_vertices(hgraph: Hypergraph, state: _BisectionState) -> np.ndarray:
+    """Vertices incident to at least one cut edge."""
+    sizes = state.edge_sizes
+    cut_edges = (state.count0 > 0) & (state.count0 < sizes)
+    boundary = np.zeros(hgraph.n_vertices, dtype=bool)
+    for e in np.nonzero(cut_edges)[0]:
+        boundary[hgraph.edge_pins(int(e))] = True
+    return np.nonzero(boundary)[0]
+
+
+def _fm_pass(hgraph: Hypergraph, state: _BisectionState, caps: np.ndarray,
+             stall_limit: int) -> bool:
+    """One FM pass; returns True if the cut improved."""
+    locked = np.zeros(hgraph.n_vertices, dtype=bool)
+    heap = []
+    for v in _boundary_vertices(hgraph, state):
+        heapq.heappush(heap, (-state.gain(int(v)), int(v)))
+
+    moves = []
+    cumulative = 0.0
+    best_cumulative = 0.0
+    best_index = 0
+    stall = 0
+
+    while heap and stall < stall_limit:
+        neg_gain, v = heapq.heappop(heap)
+        if locked[v]:
+            continue
+        gain = state.gain(v)
+        if -neg_gain != gain:
+            # Stale entry: re-push with the current gain.
+            heapq.heappush(heap, (-gain, v))
+            continue
+        if not state.fits_after_move(v, caps):
+            locked[v] = True
+            continue
+        state.move(v)
+        locked[v] = True
+        moves.append(v)
+        cumulative += gain
+        if cumulative > best_cumulative + 1e-12:
+            best_cumulative = cumulative
+            best_index = len(moves)
+            stall = 0
+        else:
+            stall += 1
+        # Neighbor gains changed: push fresh entries.
+        for e in hgraph.vertex_edges(v):
+            for u in hgraph.edge_pins(int(e)):
+                u = int(u)
+                if not locked[u]:
+                    heapq.heappush(heap, (-state.gain(u), u))
+
+    # Roll back every move after the best prefix.
+    for v in reversed(moves[best_index:]):
+        state.move(v)
+    return best_cumulative > 0.0

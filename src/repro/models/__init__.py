@@ -1,0 +1,34 @@
+"""Analytic models of baseline architectures and of Azul's area/power.
+
+The paper models its non-simulated baselines analytically (ALRESCHA as
+a full-utilization memory-bandwidth-bound accelerator, Sec. VI-A) and
+derives Azul's area and power from synthesis constants plus simulation
+activity factors (Sec. VI-E).  This subpackage reproduces those models;
+the GPU model is a calibrated roofline standing in for the V100+Ginkgo
+measurements.
+"""
+
+from repro.models.gpu import GPUModel, GPUIterationTime
+from repro.models.alrescha import AlreschaModel
+from repro.models.area import AreaReport, area_report
+from repro.models.energy import EnergyModel
+from repro.models.power import PowerReport, power_report
+from repro.models.azul_analytic import (
+    IterationPrediction,
+    KernelPrediction,
+    predict_iteration,
+)
+
+__all__ = [
+    "GPUModel",
+    "GPUIterationTime",
+    "AlreschaModel",
+    "AreaReport",
+    "area_report",
+    "EnergyModel",
+    "PowerReport",
+    "power_report",
+    "KernelPrediction",
+    "IterationPrediction",
+    "predict_iteration",
+]

@@ -1,0 +1,47 @@
+"""ALRESCHA baseline model (Sec. VI-A, baseline 2).
+
+The paper models ALRESCHA generously: a full-utilization accelerator
+that completely saturates its 288 GB/s main-memory bandwidth, with
+perfect reuse of all vectors, so the only memory traffic is the sparse
+matrices streamed once per kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spmv_flops, sptrsv_flops
+
+
+@dataclass(frozen=True)
+class AlreschaModel:
+    """Bandwidth-bound accelerator model.
+
+    Attributes
+    ----------
+    mem_bandwidth:
+        Main-memory bandwidth (288 GB/s in the ALRESCHA paper).
+    nnz_bytes:
+        Bytes streamed per matrix nonzero.
+    """
+
+    mem_bandwidth: float = 288.0e9
+    nnz_bytes: int = 12
+
+    def pcg_iteration_time(self, matrix: CSRMatrix,
+                           lower: CSRMatrix) -> float:
+        """Seconds per iteration: A once (SpMV) + L twice (two solves)."""
+        bytes_moved = (matrix.nnz + 2 * lower.nnz) * self.nnz_bytes
+        return bytes_moved / self.mem_bandwidth
+
+    def gflops(self, matrix: CSRMatrix, lower: CSRMatrix) -> float:
+        """Sustained GFLOP/s on PCG.
+
+        Counts only the matrix-kernel FLOPs (vector work is assumed
+        free and overlapped), which bounds throughput at
+        ``2 FLOPs / nnz_bytes * bandwidth`` — the ~48 GFLOP/s ceiling
+        the paper cites.
+        """
+        flops = spmv_flops(matrix) + 2 * sptrsv_flops(lower)
+        return flops / self.pcg_iteration_time(matrix, lower) / 1e9

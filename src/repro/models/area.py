@@ -1,0 +1,60 @@
+"""Area estimation (paper Table V, Sec. VI-E).
+
+Component areas at 7nm from the paper's synthesis and modeling flow:
+the custom PE synthesized on ASAP7, routers via DSENT, SRAM at the
+published 7nm macro density of 3.75 MB/mm^2, and an HBM2e-PHY-sized I/O
+block.  For the paper's 4096-tile configuration this reproduces the
+~155 mm^2 total of Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AzulConfig
+
+#: Synthesized PE area at 7nm (Table V).
+PE_AREA_MM2 = 0.0043
+#: Router area at 7nm from DSENT scaling (Table V).
+ROUTER_AREA_MM2 = 0.0016
+#: Fabricated 7nm SRAM macro density (Yokoyama et al.): 3.75 MB/mm^2.
+SRAM_DENSITY_MB_PER_MM2 = 3.75
+#: HBM2e PHY area for the 512 GB/s I/O interface (Table V).
+IO_AREA_MM2 = 15.0
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Per-component chip area in mm^2 (the Table V rows)."""
+
+    pes: float
+    routers: float
+    srams: float
+    io: float
+
+    @property
+    def total(self) -> float:
+        return self.pes + self.routers + self.srams + self.io
+
+    def rows(self) -> list:
+        """(component, area_mm2) rows in Table V order."""
+        return [
+            ("PEs", self.pes),
+            ("Routers", self.routers),
+            ("SRAMs", self.srams),
+            ("I/O", self.io),
+            ("Total", self.total),
+        ]
+
+
+def area_report(config: AzulConfig = None) -> AreaReport:
+    """Estimate chip area for a machine configuration."""
+    config = config or AzulConfig()
+    tiles = config.num_tiles
+    sram_mb_per_tile = config.sram_bytes_per_tile / (1024 * 1024)
+    return AreaReport(
+        pes=tiles * PE_AREA_MM2,
+        routers=tiles * ROUTER_AREA_MM2,
+        srams=tiles * sram_mb_per_tile / SRAM_DENSITY_MB_PER_MM2,
+        io=IO_AREA_MM2,
+    )

@@ -1,0 +1,66 @@
+"""Energy constants and per-event energy model (Sec. VI-E).
+
+The paper combines CACTI SRAM energies (10.9 pJ per 96-bit read of a
+36 KB macro, scaled to 7nm), DSENT NoC energies, and synthesis power for
+the PE, with activity factors from simulation.  The constants below
+follow those sources; leakage is calibrated so the 4096-tile machine's
+idle floor matches the leakage band visible in Fig. 24.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies (joules) and leakage.
+
+    Attributes
+    ----------
+    accum_sram_read_j:
+        96-bit access to the 36 KB Accumulator SRAM (10.9 pJ, CACTI).
+    data_sram_read_j:
+        96-bit access to the 72 KB Data SRAM (scaled up from the 36 KB
+        figure by the usual ~sqrt-capacity growth).
+    fmac_j:
+        One double-precision FMAC in the synthesized PE at 7nm.
+    noc_hop_j:
+        Moving one 96-bit flit one hop (router traversal + link).
+    leakage_w_per_tile:
+        Static power per tile (PE + router + SRAM periphery).
+    """
+
+    accum_sram_read_j: float = 10.9e-12
+    data_sram_read_j: float = 15.4e-12
+    fmac_j: float = 12.0e-12
+    noc_hop_j: float = 5.0e-12
+    leakage_w_per_tile: float = 6.0e-3
+
+    # ------------------------------------------------------------------
+    def sram_energy(self, fmacs: int, adds: int, muls: int,
+                    sends: int) -> float:
+        """SRAM energy of a kernel's operations.
+
+        Each FMAC reads the Data SRAM (nonzero fetch) and performs an
+        Accumulator SRAM read-modify-write; Adds/Muls touch the
+        accumulator; Sends read the value being shipped.
+        """
+        data_accesses = fmacs + sends
+        accum_accesses = 2 * (fmacs + adds) + muls
+        return (
+            data_accesses * self.data_sram_read_j
+            + accum_accesses * self.accum_sram_read_j
+        )
+
+    def compute_energy(self, fmacs: int, adds: int, muls: int) -> float:
+        """ALU energy (Adds/Muls are cheaper than full FMACs)."""
+        return self.fmac_j * (fmacs + 0.5 * adds + 0.5 * muls)
+
+    def noc_energy(self, link_hops: int) -> float:
+        """Network energy for a number of single-hop flit traversals."""
+        return link_hops * self.noc_hop_j
+
+    def leakage_power(self, n_tiles: int) -> float:
+        """Total static power in watts."""
+        return n_tiles * self.leakage_w_per_tile

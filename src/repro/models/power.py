@@ -1,0 +1,59 @@
+"""Power estimation from simulation activity factors (Fig. 24).
+
+Combines the :class:`~repro.models.energy.EnergyModel` event energies
+with an :class:`~repro.sim.machine.IterationResult`'s operation and
+link-activation counts: dynamic power is per-iteration energy divided by
+per-iteration time, plus leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AzulConfig
+from repro.models.energy import EnergyModel
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Watts by component (the Fig. 24 stack)."""
+
+    sram: float
+    compute: float
+    noc: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        return self.sram + self.compute + self.noc + self.leakage
+
+    def as_dict(self) -> dict:
+        return {
+            "sram": self.sram,
+            "compute": self.compute,
+            "noc": self.noc,
+            "leakage": self.leakage,
+            "total": self.total,
+        }
+
+
+def power_report(iteration_result, config: AzulConfig = None,
+                 energy: EnergyModel = None) -> PowerReport:
+    """Estimate power while running one matrix's PCG steady state."""
+    config = config or iteration_result.config or AzulConfig()
+    energy = energy or EnergyModel()
+    seconds = iteration_result.total_cycles / config.frequency_hz
+    if seconds <= 0:
+        raise ValueError("iteration result has zero duration")
+    ops = iteration_result.op_totals()
+    sram_j = energy.sram_energy(
+        ops["fmac"], ops["add"], ops["mul"], ops["send"]
+    )
+    compute_j = energy.compute_energy(ops["fmac"], ops["add"], ops["mul"])
+    noc_j = energy.noc_energy(iteration_result.link_activations())
+    return PowerReport(
+        sram=sram_j / seconds,
+        compute=compute_j / seconds,
+        noc=noc_j / seconds,
+        leakage=energy.leakage_power(config.num_tiles),
+    )

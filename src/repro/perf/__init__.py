@@ -1,0 +1,19 @@
+"""Performance metrics and result summarization."""
+
+from repro.perf.metrics import (
+    gmean,
+    speedup,
+    normalize,
+)
+from repro.perf.summarize import (
+    format_table,
+    ExperimentResult,
+)
+
+__all__ = [
+    "gmean",
+    "speedup",
+    "normalize",
+    "format_table",
+    "ExperimentResult",
+]

@@ -1,0 +1,34 @@
+"""Scalar performance metrics (gmean speedups, normalization)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for speedups)."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(baseline_time: float, improved_time: float) -> float:
+    """Speedup of ``improved`` over ``baseline`` (times or cycle counts)."""
+    if improved_time <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline_time / improved_time
+
+
+def normalize(values: Iterable[float], reference: float = None) -> list:
+    """Scale values so the reference (default: max) becomes 1.0."""
+    values = [float(v) for v in values]
+    if not values:
+        return []
+    reference = max(values) if reference is None else reference
+    if reference == 0:
+        return [0.0 for _ in values]
+    return [v / reference for v in values]

@@ -1,0 +1,99 @@
+"""Experiment result containers and plain-text rendering.
+
+Every experiment module returns an :class:`ExperimentResult`: named
+columns and one row per matrix/configuration, printable as the textual
+equivalent of the paper's figure or table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced figure/table.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier, e.g. ``"fig20"``.
+    title:
+        What the paper artifact shows.
+    columns:
+        Ordered column names; each row is a dict with these keys.
+    rows:
+        One dict per row.
+    notes:
+        Free-form commentary (scale caveats, gmean summaries).
+    """
+
+    experiment: str
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: str = ""
+    #: Machine-readable summary values (gmeans, speedups) for benches.
+    extras: dict = field(default_factory=dict)
+
+    def add_row(self, **values):
+        """Append a row; missing columns are left blank."""
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        return [row.get(name) for row in self.rows]
+
+    def to_csv(self, path):
+        """Write the rows as CSV (for external plotting tools)."""
+        import csv
+
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(
+                handle, fieldnames=self.columns, extrasaction="ignore"
+            )
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        header = [self.experiment.upper(), "-", self.title]
+        table = format_table(self.columns, self.rows)
+        parts = [" ".join(header), table]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def __str__(self):
+        return self.render()
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(columns: list, rows: list) -> str:
+    """Align a list of row-dicts into a fixed-width text table."""
+    rendered = [
+        [_format_cell(row.get(col)) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Preconditioner interface.
+
+A preconditioner approximates ``A^{-1}``: applying it to the residual
+(``z = M^{-1} r``) reshapes the spectrum so the solver converges in fewer
+iterations (Sec. II, "Numerical stability and preconditioning").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Preconditioner(ABC):
+    """Base class for all preconditioners.
+
+    Subclasses must implement :meth:`apply`.  ``kernels`` advertises
+    which sparse kernels an accelerator needs to execute the
+    preconditioner (the Table II "Kernels" column); triangular-factor
+    preconditioners override ``lower_factor``/``upper_factor``.
+    """
+
+    #: Sparse kernels required to apply this preconditioner on Azul.
+    kernels: tuple = ()
+
+    @abstractmethod
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Return ``z = M^{-1} r``."""
+
+    def lower_factor(self):
+        """The lower-triangular factor used by ``apply``, if any."""
+        return None
+
+    def upper_factor(self):
+        """The upper-triangular factor used by ``apply``, if any."""
+        return None
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return self.apply(r)

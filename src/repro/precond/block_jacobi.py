@@ -1,0 +1,75 @@
+"""Block-Jacobi preconditioner.
+
+Generalizes Jacobi from the diagonal to dense diagonal *blocks*: each
+block of consecutive indices is factored once and back-solved per
+application.  Entirely tile-local on Azul when block boundaries align
+with vector homes (no SpTRSV dependence chains at all), making it a
+practical middle ground between Jacobi and IC(0) for low-latency
+solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PreconditionerError
+from repro.precond.base import Preconditioner
+from repro.sparse.csr import CSRMatrix
+
+
+class BlockJacobiPreconditioner(Preconditioner):
+    """``z = diag_blocks(A)^{-1} r`` with dense blocks of fixed size.
+
+    Parameters
+    ----------
+    matrix:
+        The SPD system matrix.
+    block_size:
+        Number of consecutive indices per block (the last block may be
+        smaller).  ``block_size=1`` recovers plain Jacobi.
+    """
+
+    kernels = ()
+
+    def __init__(self, matrix: CSRMatrix, block_size: int = 4):
+        if block_size < 1:
+            raise PreconditionerError("block size must be positive")
+        if matrix.shape[0] != matrix.shape[1]:
+            raise PreconditionerError("block Jacobi requires a square matrix")
+        self.block_size = block_size
+        n = matrix.n_rows
+        self._n = n
+        self._factors = []
+        for start in range(0, n, block_size):
+            end = min(start + block_size, n)
+            block = self._extract_block(matrix, start, end)
+            try:
+                self._factors.append(np.linalg.cholesky(block))
+            except np.linalg.LinAlgError as error:
+                raise PreconditionerError(
+                    f"diagonal block [{start}:{end}] is not SPD"
+                ) from error
+
+    @staticmethod
+    def _extract_block(matrix: CSRMatrix, start: int, end: int) -> np.ndarray:
+        """Densify one diagonal block of the sparse matrix."""
+        size = end - start
+        block = np.zeros((size, size))
+        for i in range(start, end):
+            cols, vals = matrix.row(i)
+            inside = (cols >= start) & (cols < end)
+            block[i - start, cols[inside] - start] = vals[inside]
+        return block
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        if len(r) != self._n:
+            raise PreconditionerError("residual length mismatch")
+        z = np.empty(self._n)
+        for index, factor in enumerate(self._factors):
+            start = index * self.block_size
+            end = min(start + self.block_size, self._n)
+            # Two dense triangular solves per block (Cholesky).
+            y = np.linalg.solve(factor, r[start:end])
+            z[start:end] = np.linalg.solve(factor.T, y)
+        return z

@@ -1,0 +1,482 @@
+"""Discrete-event kernel simulator.
+
+Executes one :class:`~repro.dataflow.kernel_program.KernelProgram`
+cycle-accurately *and* numerically: PEs issue operations subject to
+issue bandwidth and accumulator RAW hazards (hidden by multithreading,
+Sec. V-A), messages traverse torus links at one flit per link per cycle,
+multicasts fork in routers, and reductions merge with standalone Adds at
+junction tiles.  The computed output vector is bit-comparable to the
+reference kernels, which is how functional correctness is verified.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.torus import TorusGeometry
+from repro.config import AzulConfig
+from repro.dataflow.kernel_program import KernelProgram
+from repro.dataflow.tasks import OpKind
+from repro.errors import SimulationError
+from repro.sim.pe import PEModel
+
+# Event kinds (heap entries are (time, seq, kind, payload)).
+_EV_PUMP = 0
+_EV_MCAST = 1    # multicast value arriving at a tree node
+_EV_PARTIAL = 2  # reduction partial arriving at a tree node
+
+# Task kinds.
+_T_SAAC = 0   # ScaleAndAccumCol: a run of FMACs against a column segment
+_T_ADD = 1    # merge one incoming reduction partial
+_T_MUL = 2    # solve x_i = (b_i - acc) * (1/d_i)
+_T_SEND = 3   # push one value into the router
+
+
+class _Tile:
+    """Mutable per-tile simulation state."""
+
+    __slots__ = (
+        "tasks", "pe_time", "acc_ready", "busy", "op_counts",
+        "next_pump",
+    )
+
+    def __init__(self):
+        self.tasks = []
+        self.pe_time = 0
+        self.acc_ready = {}
+        self.busy = 0
+        self.op_counts = [0, 0, 0, 0]  # FMAC, ADD, MUL, SEND
+        self.next_pump = None
+
+
+@dataclass
+class KernelResult:
+    """Outcome of simulating one kernel.
+
+    Attributes
+    ----------
+    name:
+        Kernel name.
+    cycles:
+        Completion time of the kernel (last row finished / op retired).
+    output:
+        The computed result vector (``y`` for SpMV, ``x`` for SpTRSV).
+    op_counts:
+        Executed operations by kind: ``fmac``, ``add``, ``mul``,
+        ``send``.
+    busy_slots:
+        Total issue slots consumed across all PEs.
+    link_activations:
+        Total link traversals.
+    per_link:
+        Activations per directed link.
+    spills:
+        Messages that overflowed the register buffer into the Data SRAM.
+    issue_trace:
+        When recording was requested: one ``(cycle, tile, op_kind)``
+        tuple per issued operation, for timeline/heatmap analysis.
+    """
+
+    name: str
+    cycles: int
+    output: np.ndarray
+    op_counts: dict
+    busy_slots: int
+    link_activations: int
+    per_link: dict = field(default_factory=dict)
+    spills: int = 0
+    #: Total cycles flits waited for busy links (congestion measure).
+    link_queue_delay: int = 0
+    issue_trace: list = None
+
+    def flops(self) -> int:
+        """FLOPs executed, including distribution overhead Adds.
+
+        Note: reported GFLOP/s uses the *algorithmic* FLOP count
+        (mapping-independent); this counter additionally includes the
+        standalone Adds that inter-tile reductions introduce.
+        """
+        return (
+            2 * self.op_counts["fmac"]
+            + self.op_counts["add"]
+            + self.op_counts["mul"]
+        )
+
+
+class KernelSimulator:
+    """Simulates one kernel program on the configured machine."""
+
+    def __init__(self, program: KernelProgram, torus: TorusGeometry,
+                 config: AzulConfig, pe: PEModel,
+                 record_issue_trace: bool = False):
+        self.program = program
+        self.torus = torus
+        self.config = config
+        self.pe = pe
+        self.record_issue_trace = record_issue_trace
+        self._alu_latency = config.sram_access_cycles + config.fmac_latency_cycles
+        self._send_latency = config.sram_access_cycles + 1
+
+    # ------------------------------------------------------------------
+    def run(self, x=None, b=None) -> KernelResult:
+        """Execute the kernel; returns timing, stats, and the output.
+
+        ``x`` is the input vector for SpMV; ``b`` the right-hand side
+        for SpTRSV.
+        """
+        program = self.program
+        n = program.n
+        self._events = []
+        self._seq = 0
+        self._tiles = {}
+        self._link_free = {}
+        self._per_link = {}
+        self._link_count = 0
+        self._queue_delay = 0
+        self._spills = 0
+        self._end_time = 0
+
+        self._issue_trace = [] if self.record_issue_trace else None
+        self._partial = {}          # (tile, row) -> accumulated value
+        self._local_remaining = dict(program.local_counts)
+        self._node_remaining = {}   # (row, tile) -> pending inputs
+        self._rows_done = 0
+        self._output = np.zeros(n)
+        self._b = None if b is None else np.asarray(b, dtype=np.float64)
+        self._x = (
+            np.asarray(x, dtype=np.float64) if x is not None
+            else np.zeros(n)
+        )
+
+        self._init_node_remaining()
+        if program.dependent:
+            if self._b is None:
+                raise SimulationError("SpTRSV simulation requires b")
+            self._init_sptrsv()
+        else:
+            if x is None:
+                raise SimulationError("SpMV simulation requires x")
+            self._init_spmv()
+
+        self._drain()
+
+        if self._rows_done != n:
+            raise SimulationError(
+                f"{program.name}: deadlock — only {self._rows_done}/{n} "
+                "rows completed"
+            )
+        op_totals = [0, 0, 0, 0]
+        busy = 0
+        for tile in self._tiles.values():
+            busy += tile.busy
+            for k in range(4):
+                op_totals[k] += tile.op_counts[k]
+        return KernelResult(
+            name=program.name,
+            cycles=self._end_time,
+            output=self._output,
+            op_counts={
+                "fmac": op_totals[0],
+                "add": op_totals[1],
+                "mul": op_totals[2],
+                "send": op_totals[3],
+            },
+            busy_slots=busy,
+            link_activations=self._link_count,
+            per_link=self._per_link,
+            spills=self._spills,
+            link_queue_delay=self._queue_delay,
+            issue_trace=self._issue_trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def _init_node_remaining(self):
+        """Expected inputs at every reduction-tree node and every home."""
+        program = self.program
+        local = program.local_counts
+        for i in range(program.n):
+            home = int(program.vec_tile[i])
+            tree = program.red_trees.get(i)
+            if tree is None:
+                self._node_remaining[(i, home)] = (
+                    1 if (home, i) in local else 0
+                )
+                continue
+            children = {}
+            for child, parent in tree.edges:
+                children[parent] = children.get(parent, 0) + 1
+            nodes = {home}
+            nodes.update(tree.parent)
+            for node in nodes:
+                expected = children.get(node, 0)
+                if (node, i) in local:
+                    expected += 1
+                self._node_remaining[(i, node)] = expected
+
+    def _init_spmv(self):
+        """Distribute input-vector values at time zero (SendV tasks)."""
+        program = self.program
+        for j in range(program.n):
+            home = int(program.vec_tile[j])
+            value = float(self._x[j])
+            segment = program.col_segments.get(home, {}).get(j)
+            if segment is not None:
+                self._enqueue(home, [0, _T_SAAC, segment[0], segment[1],
+                                     value, 0])
+            for tree_index in range(len(program.mcast_trees.get(j, ()))):
+                self._enqueue(
+                    home, [0, _T_SEND, ("mcast", j, value, tree_index)]
+                )
+        # Rows with no pending inputs complete immediately (y_i = 0 or
+        # purely-local rows start from their FMACs).
+        for i in range(program.n):
+            home = int(program.vec_tile[i])
+            if self._node_remaining[(i, home)] == 0:
+                self._row_complete(i, 0)
+        self._flush_pumps()
+
+    def _init_sptrsv(self):
+        """Schedule dependence-free rows for solving at time zero."""
+        program = self.program
+        for i in range(program.n):
+            home = int(program.vec_tile[i])
+            if self._node_remaining[(i, home)] == 0:
+                self._enqueue(home, [0, _T_MUL, i])
+        self._flush_pumps()
+
+    def _flush_pumps(self):
+        for tile_id in list(self._tiles):
+            self._schedule_pump(tile_id, 0)
+
+    # ------------------------------------------------------------------
+    # Event machinery
+    # ------------------------------------------------------------------
+    def _push(self, time, kind, payload):
+        heapq.heappush(self._events, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def _drain(self):
+        while self._events:
+            time, _, kind, payload = heapq.heappop(self._events)
+            if kind == _EV_PUMP:
+                tile_id = payload
+                tile = self._tiles[tile_id]
+                if tile.next_pump != time:
+                    continue  # stale: a different pump is now scheduled
+                tile.next_pump = None
+                self._pump(tile_id, time)
+            elif kind == _EV_MCAST:
+                node, j, value, tree_index = payload
+                self._on_mcast_arrival(node, j, value, time, tree_index)
+            else:
+                node, row, value = payload
+                self._enqueue(node, [time, _T_ADD, row, value])
+                self._schedule_pump(node, time)
+
+    def _tile(self, tile_id) -> _Tile:
+        tile = self._tiles.get(tile_id)
+        if tile is None:
+            tile = _Tile()
+            self._tiles[tile_id] = tile
+        return tile
+
+    def _enqueue(self, tile_id, task):
+        """Append a task to a tile, modeling message-buffer spills."""
+        tile = self._tile(tile_id)
+        if len(tile.tasks) >= self.config.msg_buffer_entries:
+            self._spills += 1
+            task[0] += 2 * self.config.sram_access_cycles
+        tile.tasks.append(task)
+
+    def _schedule_pump(self, tile_id, time):
+        tile = self._tile(tile_id)
+        if not self.pe.is_ideal and tile.pe_time > time:
+            # Nothing can issue before the PE's next free slot anyway.
+            time = tile.pe_time
+        if tile.next_pump is None or time < tile.next_pump:
+            tile.next_pump = time
+            self._push(time, _EV_PUMP, tile_id)
+
+    # ------------------------------------------------------------------
+    # PE issue
+    # ------------------------------------------------------------------
+    def _op_ready_time(self, tile: _Tile, task) -> int:
+        """Earliest cycle the task's current operation can issue."""
+        kind = task[1]
+        ready = max(task[0], tile.pe_time)
+        if kind == _T_SAAC:
+            row = int(task[2][task[5]])
+            return max(ready, tile.acc_ready.get(row, 0))
+        if kind == _T_ADD:
+            return max(ready, tile.acc_ready.get(task[2], 0))
+        if kind == _T_MUL:
+            return max(ready, tile.acc_ready.get(task[2], 0))
+        return ready  # SEND
+
+    def _pump(self, tile_id, now):
+        """Issue every operation that can start at ``now``."""
+        tile = self._tiles[tile_id]
+        pe = self.pe
+        while tile.tasks:
+            window = (
+                tile.tasks[:pe.thread_contexts] if pe.multithreaded
+                else tile.tasks[:1]
+            )
+            best_index = -1
+            best_time = None
+            for index, task in enumerate(window):
+                ready = self._op_ready_time(tile, task)
+                if best_time is None or ready < best_time:
+                    best_time = ready
+                    best_index = index
+            if best_time > now:
+                self._schedule_pump(tile_id, best_time)
+                return
+            self._issue(tile_id, tile, tile.tasks[best_index], best_index,
+                        best_time)
+            if not pe.is_ideal and tile.tasks:
+                # One issue slot consumed; revisit at the next free cycle.
+                self._schedule_pump(tile_id, tile.pe_time)
+                return
+
+    def _issue(self, tile_id, tile: _Tile, task, task_index, issue_time):
+        """Execute one operation of ``task`` at ``issue_time``."""
+        kind = task[1]
+        tile.busy += self.pe.issue_cycles
+        if self._issue_trace is not None:
+            self._issue_trace.append((issue_time, tile_id, kind))
+        if not self.pe.is_ideal:
+            tile.pe_time = issue_time + self.pe.issue_cycles
+
+        if kind == _T_SAAC:
+            rows, vals, xval, pos = task[2], task[3], task[4], task[5]
+            row = int(rows[pos])
+            completion = issue_time + self._alu_latency
+            tile.op_counts[OpKind.FMAC] += 1
+            tile.acc_ready[row] = completion
+            key = (tile_id, row)
+            self._partial[key] = self._partial.get(key, 0.0) + xval * vals[pos]
+            task[5] += 1
+            if task[5] >= len(rows):
+                del tile.tasks[task_index]
+            remaining = self._local_remaining[key] - 1
+            self._local_remaining[key] = remaining
+            if remaining == 0:
+                self._node_input_done(row, tile_id, completion)
+        elif kind == _T_ADD:
+            row, value = task[2], task[3]
+            completion = issue_time + self._alu_latency
+            tile.op_counts[OpKind.ADD] += 1
+            tile.acc_ready[row] = completion
+            key = (tile_id, row)
+            self._partial[key] = self._partial.get(key, 0.0) + value
+            del tile.tasks[task_index]
+            self._node_input_done(row, tile_id, completion)
+        elif kind == _T_MUL:
+            row = task[2]
+            completion = issue_time + self._alu_latency
+            tile.op_counts[OpKind.MUL] += 1
+            del tile.tasks[task_index]
+            self._solve_row(row, tile_id, completion)
+        else:  # _T_SEND
+            payload = task[2]
+            completion = issue_time + self._send_latency
+            tile.op_counts[OpKind.SEND] += 1
+            del tile.tasks[task_index]
+            if payload[0] == "mcast":
+                _, j, value, tree_index = payload
+                tree = self.program.mcast_trees[j][tree_index]
+                self._forward_mcast(tree, tree.root, j, value, completion,
+                                    tree_index)
+            else:
+                _, row, value, parent = payload
+                self._traverse_link(tile_id, parent, completion,
+                                    _EV_PARTIAL, (parent, row, value))
+        self._end_time = max(self._end_time, completion)
+
+    # ------------------------------------------------------------------
+    # Network
+    # ------------------------------------------------------------------
+    def _traverse_link(self, src, dst, time, event_kind, payload):
+        """Serialize a flit onto a link and schedule its arrival."""
+        link = (src, dst)
+        depart = max(time, self._link_free.get(link, 0))
+        self._queue_delay += depart - time
+        self._link_free[link] = depart + 1
+        self._per_link[link] = self._per_link.get(link, 0) + 1
+        self._link_count += 1
+        arrival = depart + self.config.hop_cycles
+        self._push(arrival, event_kind, payload)
+        self._end_time = max(self._end_time, arrival)
+
+    def _forward_mcast(self, tree, node, j, value, time, tree_index):
+        """Router-side fork of a multicast at ``node``."""
+        for child in tree.children.get(node, ()):
+            self._traverse_link(node, child, time, _EV_MCAST,
+                                (child, j, value, tree_index))
+
+    def _on_mcast_arrival(self, node, j, value, time, tree_index):
+        """A multicast value reached ``node``: forward and trigger work."""
+        tree = self.program.mcast_trees[j][tree_index]
+        self._forward_mcast(tree, node, j, value, time, tree_index)
+        if node not in tree.destinations:
+            return
+        segment = self.program.col_segments.get(node, {}).get(j)
+        if segment is not None:
+            self._enqueue(node, [time, _T_SAAC, segment[0], segment[1],
+                                 value, 0])
+            self._schedule_pump(node, time)
+
+    # ------------------------------------------------------------------
+    # Reduction / completion logic
+    # ------------------------------------------------------------------
+    def _node_input_done(self, row, node, time):
+        """One expected input of reduction node ``(row, node)`` merged."""
+        key = (row, node)
+        remaining = self._node_remaining[key] - 1
+        self._node_remaining[key] = remaining
+        if remaining > 0:
+            return
+        home = int(self.program.vec_tile[row])
+        if node == home:
+            self._row_complete(row, time)
+        else:
+            tree = self.program.red_trees[row]
+            parent = tree.parent[node]
+            value = self._partial.get((node, row), 0.0)
+            self._enqueue(node, [time, _T_SEND,
+                                 ("partial", row, value, parent)])
+            self._schedule_pump(node, time)
+
+    def _row_complete(self, row, time):
+        """All of row ``row``'s inputs reached its home tile."""
+        program = self.program
+        home = int(program.vec_tile[row])
+        if program.dependent:
+            self._enqueue(home, [time, _T_MUL, row])
+            self._schedule_pump(home, time)
+        else:
+            self._output[row] = self._partial.get((home, row), 0.0)
+            self._rows_done += 1
+            self._end_time = max(self._end_time, time)
+
+    def _solve_row(self, row, home, completion):
+        """SpTRSV: produce ``x_row`` and distribute it down the column."""
+        program = self.program
+        acc = self._partial.get((home, row), 0.0)
+        value = (self._b[row] - acc) * program.inv_diag[row]
+        self._output[row] = value
+        self._rows_done += 1
+        segment = program.col_segments.get(home, {}).get(row)
+        if segment is not None:
+            self._enqueue(home, [completion, _T_SAAC, segment[0],
+                                 segment[1], value, 0])
+        for tree_index in range(len(program.mcast_trees.get(row, ()))):
+            self._enqueue(home, [completion, _T_SEND,
+                                 ("mcast", row, value, tree_index)])
+        self._schedule_pump(home, completion)

@@ -1,0 +1,62 @@
+"""Functional (timing-free) execution of kernel programs.
+
+Executes the same compiled dataflow structures as the cycle simulator
+but with no notion of time, giving an independent check that program
+*construction* is correct (segments, trees, counters) separate from the
+timing engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.kernel_program import KernelProgram
+from repro.errors import SimulationError
+
+
+def functional_spmv(program: KernelProgram, x: np.ndarray) -> np.ndarray:
+    """Execute a compiled SpMV program: scale segments, reduce partials."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.zeros(program.n)
+    for segments in program.col_segments.values():
+        for j, (rows, values) in segments.items():
+            np.add.at(y, rows, values * x[j])
+    return y
+
+
+def functional_sptrsv(program: KernelProgram, b: np.ndarray) -> np.ndarray:
+    """Execute a compiled SpTRSV program in dependence order.
+
+    Rows are solved as their pending contribution counters drain,
+    exactly as the hardware would, but eagerly (no timing).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = program.n
+    acc = np.zeros(n)
+    x = np.zeros(n)
+    # Pending off-diagonal contributions per row, over all tiles.
+    pending = np.zeros(n, dtype=np.int64)
+    for (tile, row), count in program.local_counts.items():
+        pending[row] += count
+    ready = [i for i in range(n) if pending[i] == 0]
+    # Per-column global segments (merged over tiles).
+    columns = {}
+    for segments in program.col_segments.values():
+        for j, (rows, values) in segments.items():
+            columns.setdefault(j, []).append((rows, values))
+    solved = 0
+    while ready:
+        i = ready.pop()
+        x[i] = (b[i] - acc[i]) * program.inv_diag[i]
+        solved += 1
+        for rows, values in columns.get(i, ()):
+            for row, value in zip(rows, values):
+                acc[row] += value * x[i]
+                pending[row] -= 1
+                if pending[row] == 0:
+                    ready.append(int(row))
+    if solved != n:
+        raise SimulationError(
+            f"functional SpTRSV deadlock: {solved}/{n} rows solved"
+        )
+    return x

@@ -1,0 +1,175 @@
+"""The simulated Azul machine: full PCG-iteration execution.
+
+Combines the three sparse-kernel simulations with the analytic
+vector-phase model to produce per-iteration timing, the per-kernel
+runtime breakdown (Fig. 22), PE cycle breakdown (Fig. 21), and
+steady-state GFLOP/s.  End-to-end solve time is cycles-per-iteration
+times the iteration count measured by the functional solver — the same
+steady-state methodology the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm import make_geometry
+from repro.comm.torus import TorusGeometry
+from repro.config import AzulConfig
+from repro.core.placement import Placement
+from repro.dataflow.program import PCGIterationProgram, build_pcg_program
+from repro.errors import SimulationError
+from repro.sim.engine import KernelResult, KernelSimulator
+from repro.sim.pe import AZUL_PE, PEModel
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class IterationResult:
+    """Timing of one simulated PCG iteration.
+
+    Attributes
+    ----------
+    kernel_results:
+        The three sparse-kernel results (spmv, forward, backward).
+    vector_cycles:
+        Cycles of the analytic vector phase.
+    total_cycles:
+        Sum over all phases (phases are dependence-separated).
+    flops_per_iteration:
+        Useful algorithmic FLOPs of one iteration.
+    """
+
+    kernel_results: list
+    vector_cycles: int
+    total_cycles: int
+    flops_per_iteration: int
+    config: AzulConfig = None
+    vector_ops: dict = None
+
+    def gflops(self) -> float:
+        """Steady-state useful GFLOP/s."""
+        if self.total_cycles == 0:
+            return 0.0
+        seconds = self.total_cycles / self.config.frequency_hz
+        return self.flops_per_iteration / seconds / 1e9
+
+    def utilization(self) -> float:
+        """Fraction of the machine's peak FLOP/s achieved."""
+        return self.gflops() * 1e9 / self.config.peak_flops
+
+    def cycles_by_phase(self) -> dict:
+        """Per-phase cycles (the Fig. 22 breakdown)."""
+        phases = {k.name: k.cycles for k in self.kernel_results}
+        phases["vector"] = self.vector_cycles
+        return phases
+
+    def op_totals(self) -> dict:
+        """Operations issued by kind, across kernels and vector phase."""
+        totals = {"fmac": 0, "add": 0, "mul": 0, "send": 0}
+        for result in self.kernel_results:
+            for kind, count in result.op_counts.items():
+                totals[kind] += count
+        if self.vector_ops:
+            for kind, count in self.vector_ops.items():
+                totals[kind] += count
+        return totals
+
+    def link_activations(self) -> int:
+        """Total NoC link traversals of one iteration."""
+        return sum(r.link_activations for r in self.kernel_results)
+
+
+class AzulMachine:
+    """A simulated Azul machine executing mapped PCG iterations."""
+
+    def __init__(self, config: AzulConfig = None, pe: PEModel = AZUL_PE):
+        self.config = config or AzulConfig()
+        self.pe = pe
+        self.torus = make_geometry(self.config)
+
+    # ------------------------------------------------------------------
+    def compile(self, matrix: CSRMatrix, lower: CSRMatrix,
+                placement: Placement,
+                multicast: str = "tree") -> PCGIterationProgram:
+        """Compile a mapped (A, L) pair into an iteration program."""
+        if placement.n_tiles != self.config.num_tiles:
+            raise SimulationError(
+                f"placement targets {placement.n_tiles} tiles but the "
+                f"machine has {self.config.num_tiles}"
+            )
+        return build_pcg_program(
+            matrix, lower, placement, self.torus, self.config,
+            multicast=multicast,
+        )
+
+    def run_kernel(self, program_kernel, x=None, b=None) -> KernelResult:
+        """Simulate a single compiled kernel."""
+        simulator = KernelSimulator(
+            program_kernel, self.torus, self.config, self.pe
+        )
+        return simulator.run(x=x, b=b)
+
+    # ------------------------------------------------------------------
+    def simulate_iteration(self, program: PCGIterationProgram,
+                           p: np.ndarray, r: np.ndarray) -> IterationResult:
+        """Simulate one PCG iteration's kernels on representative vectors.
+
+        ``p`` feeds the SpMV; ``r`` feeds the preconditioner solves.
+        The numeric outputs are returned inside the kernel results so
+        callers can verify them against the reference kernels.
+        """
+        spmv_result = self.run_kernel(program.spmv, x=p)
+        forward_result = self.run_kernel(program.sptrsv_lower, b=r)
+        backward_result = self.run_kernel(
+            program.sptrsv_upper, b=forward_result.output
+        )
+        vector_cycles = program.vector_phase.cycles()
+        kernel_results = [spmv_result, forward_result, backward_result]
+        total = sum(k.cycles for k in kernel_results) + vector_cycles
+        return IterationResult(
+            kernel_results=kernel_results,
+            vector_cycles=vector_cycles,
+            total_cycles=total,
+            flops_per_iteration=program.flops_per_iteration(),
+            config=self.config,
+            vector_ops=program.vector_phase.op_counts(program.n),
+        )
+
+    def simulate_pcg(self, matrix: CSRMatrix, lower: CSRMatrix,
+                     placement: Placement, b: np.ndarray,
+                     check: bool = True,
+                     multicast: str = "tree") -> IterationResult:
+        """Compile and simulate one steady-state PCG iteration.
+
+        When ``check`` is true, the dataflow outputs are verified
+        against the reference kernels (the paper's functional check
+        against Ginkgo, Sec. VI-A).
+        """
+        program = self.compile(matrix, lower, placement,
+                               multicast=multicast)
+        result = self.simulate_iteration(program, p=b, r=b)
+        if check:
+            verify_iteration(result, matrix, lower, b)
+        return result
+
+
+def verify_iteration(result: IterationResult, matrix: CSRMatrix,
+                     lower: CSRMatrix, b: np.ndarray):
+    """Assert the simulated dataflow computed the right numbers."""
+    from repro.sparse.ops import sptrsv_lower as ref_lower
+    from repro.sparse.ops import sptrsv_upper as ref_upper
+
+    spmv_result, forward_result, backward_result = result.kernel_results
+    expected_y = matrix.spmv(b)
+    if not np.allclose(spmv_result.output, expected_y, rtol=1e-9, atol=1e-9):
+        raise SimulationError("simulated SpMV result mismatch")
+    expected_w = ref_lower(lower, b)
+    if not np.allclose(forward_result.output, expected_w,
+                       rtol=1e-9, atol=1e-9):
+        raise SimulationError("simulated forward SpTRSV result mismatch")
+    expected_z = ref_upper(lower.transpose(), expected_w)
+    if not np.allclose(backward_result.output, expected_z,
+                       rtol=1e-8, atol=1e-9):
+        raise SimulationError("simulated backward SpTRSV result mismatch")

@@ -1,0 +1,80 @@
+"""Processing-element models.
+
+The Azul PE (Sec. V-A) hardens the dominant control-flow pattern of
+SpMV/SpTRSV tasks into a 7-stage pipeline that issues one arithmetic
+operation per cycle; fine-grained multithreading across task contexts
+hides accumulator RAW stalls.  The Dalorex baseline uses a general-
+purpose in-order core whose bookkeeping instructions (address
+calculation, branches) consume most issue slots, modeled as extra issue
+cycles per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PEModel:
+    """Timing behavior of one PE.
+
+    Attributes
+    ----------
+    name:
+        Model identifier used in results.
+    issue_cycles:
+        Issue slots consumed per operation (1 for Azul's specialized
+        pipeline; ~8 for Dalorex's in-order core where most slots are
+        bookkeeping; 0 models the idealized, infinitely-wide PE).
+    multithreaded:
+        Whether the PE may pick operations from multiple in-flight task
+        contexts to hide accumulator hazards (Sec. V-A).
+    thread_contexts:
+        Number of replicated operation-generator contexts.
+    """
+
+    name: str
+    issue_cycles: int = 1
+    multithreaded: bool = True
+    thread_contexts: int = 8
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when issue bandwidth is unbounded (Fig. 10's PEs)."""
+        return self.issue_cycles == 0
+
+
+#: The Azul PE of Table III: 1 op/cycle, 8 thread contexts.
+AZUL_PE = PEModel(name="azul", issue_cycles=1, multithreaded=True,
+                  thread_contexts=8)
+
+#: Single-threaded ablation (Fig. 27).
+AZUL_PE_SINGLE_THREADED = PEModel(
+    name="azul_single", issue_cycles=1, multithreaded=False,
+    thread_contexts=1,
+)
+
+#: Dalorex's scalar RISC-V core: same peak FPU, but bookkeeping
+#: instructions consume ~8x the issue slots (the paper measures Azul's
+#: PEs to be 8x faster than Dalorex's cores, Sec. I/III).
+DALOREX_PE = PEModel(name="dalorex", issue_cycles=8, multithreaded=False,
+                     thread_contexts=1)
+
+#: Idealized PE: runs each task as fast as dependences allow (Fig. 10).
+IDEAL_PE = PEModel(name="ideal", issue_cycles=0, multithreaded=True,
+                   thread_contexts=1 << 30)
+
+_BY_NAME = {
+    model.name: model
+    for model in (AZUL_PE, AZUL_PE_SINGLE_THREADED, DALOREX_PE, IDEAL_PE)
+}
+
+
+def pe_model_by_name(name: str) -> PEModel:
+    """Look up a PE model preset."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown PE model {name!r}; choices: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,64 @@
+"""Cycle-breakdown statistics (Fig. 21 machinery).
+
+Converts kernel results into the paper's PE cycle-breakdown categories:
+issue slots spent on Fmac/Add/Mul/Send operations versus stalls (idle
+issue slots while the kernel was in flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Fractions of PE issue slots by activity; sums to 1."""
+
+    fmac: float
+    add: float
+    mul: float
+    send: float
+    stall: float
+
+    def as_dict(self) -> dict:
+        return {
+            "fmac": self.fmac,
+            "add": self.add,
+            "mul": self.mul,
+            "send": self.send,
+            "stall": self.stall,
+        }
+
+
+def breakdown_from_results(kernel_results, n_tiles: int,
+                           issue_cycles: int = 1,
+                           extra_cycles: int = 0,
+                           extra_ops: dict = None) -> CycleBreakdown:
+    """Aggregate kernel results into a machine-wide cycle breakdown.
+
+    Total issue slots are ``(sum of kernel cycles + extra_cycles) *
+    n_tiles``; op slots are the issued operation counts times the PE's
+    per-op issue cost; the remainder is stalls (idle PEs waiting on
+    dependences, messages, or load imbalance).
+    """
+    total_cycles = sum(r.cycles for r in kernel_results) + extra_cycles
+    total_slots = max(total_cycles * n_tiles, 1)
+    ops = {"fmac": 0, "add": 0, "mul": 0, "send": 0}
+    for result in kernel_results:
+        for kind, count in result.op_counts.items():
+            ops[kind] += count
+    if extra_ops:
+        for kind, count in extra_ops.items():
+            ops[kind] = ops.get(kind, 0) + count
+    fractions = {
+        kind: min(count * issue_cycles / total_slots, 1.0)
+        for kind, count in ops.items()
+    }
+    used = sum(fractions.values())
+    return CycleBreakdown(
+        fmac=fractions["fmac"],
+        add=fractions["add"],
+        mul=fractions["mul"],
+        send=fractions["send"],
+        stall=max(0.0, 1.0 - used),
+    )

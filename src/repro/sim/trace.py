@@ -1,0 +1,103 @@
+"""Trace analysis: utilization timelines, tile activity, link heatmaps.
+
+When a kernel is simulated with ``record_issue_trace=True``, every
+issued operation is logged as ``(cycle, tile, op_kind)``.  These
+helpers turn that log (plus the per-link counters) into the views a
+hardware architect reaches for first: how busy was the machine over
+time (Fig. 17's timeline), which tiles did the work, and which links
+carried the traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.tasks import OpKind
+from repro.sim.engine import KernelResult
+
+
+def _require_trace(result: KernelResult):
+    if result.issue_trace is None:
+        raise ValueError(
+            "kernel was simulated without record_issue_trace=True"
+        )
+
+
+def utilization_timeline(result: KernelResult, n_tiles: int,
+                         n_buckets: int = 20) -> np.ndarray:
+    """Machine utilization per time bucket (issued ops / issue slots).
+
+    Returns an ``n_buckets`` array in [0, 1]; the Fig. 17 view of where
+    a kernel's time goes.
+    """
+    _require_trace(result)
+    if result.cycles == 0 or not result.issue_trace:
+        return np.zeros(n_buckets)
+    times = np.array([entry[0] for entry in result.issue_trace])
+    edges = np.linspace(0, result.cycles, n_buckets + 1)
+    counts, _ = np.histogram(times, bins=edges)
+    slots_per_bucket = (edges[1:] - edges[:-1]) * n_tiles
+    return counts / np.maximum(slots_per_bucket, 1e-12)
+
+
+def tile_activity(result: KernelResult, n_tiles: int) -> np.ndarray:
+    """Operations issued per tile (load-balance view)."""
+    _require_trace(result)
+    activity = np.zeros(n_tiles, dtype=np.int64)
+    for _, tile, _ in result.issue_trace:
+        activity[tile] += 1
+    return activity
+
+
+def op_mix_by_tile(result: KernelResult, n_tiles: int) -> np.ndarray:
+    """Per-tile op counts by kind, shape ``(n_tiles, 4)``
+    (FMAC/Add/Mul/Send order of :class:`OpKind`)."""
+    _require_trace(result)
+    mix = np.zeros((n_tiles, 4), dtype=np.int64)
+    for _, tile, kind in result.issue_trace:
+        mix[tile, kind] += 1
+    return mix
+
+
+def link_heatmap(result: KernelResult, geometry) -> np.ndarray:
+    """Per-link activation counts arranged as a ``(n_tiles, 4)`` array.
+
+    Column order matches ``geometry.neighbors``: the flits each tile
+    sent toward each of its (up to four) neighbors.
+    """
+    heat = np.zeros((geometry.n_tiles, 4), dtype=np.int64)
+    for (src, dst), count in result.per_link.items():
+        neighbors = geometry.neighbors(src)
+        for port, neighbor in enumerate(neighbors):
+            if neighbor == dst:
+                heat[src, port] += count
+                break
+    return heat
+
+
+def idle_tail_fraction(result: KernelResult, n_tiles: int,
+                       threshold: float = 0.1) -> float:
+    """Fraction of the kernel's duration spent in the low-utilization
+    tail (utilization below ``threshold``) — the serialization metric
+    the time-balancing mapping attacks (Fig. 17)."""
+    timeline = utilization_timeline(result, n_tiles, n_buckets=50)
+    if len(timeline) == 0:
+        return 0.0
+    below = timeline < threshold
+    # Count trailing low-utilization buckets.
+    tail = 0
+    for value in below[::-1]:
+        if not value:
+            break
+        tail += 1
+    return tail / len(timeline)
+
+
+def export_trace_csv(result: KernelResult, path):
+    """Write the raw issue trace as CSV (cycle, tile, op)."""
+    _require_trace(result)
+    names = {k.value: k.name.lower() for k in OpKind}
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("cycle,tile,op\n")
+        for cycle, tile, kind in result.issue_trace:
+            handle.write(f"{cycle},{tile},{names[int(kind)]}\n")

@@ -1,0 +1,40 @@
+"""Iterative solvers (Sec. II of the paper).
+
+These are the functional reference implementations: they establish
+ground-truth solutions and iteration counts.  The accelerator simulator
+measures the *time per iteration* of the same kernel sequence; combining
+both yields end-to-end performance, mirroring the paper's methodology
+(its simulator is validated against Ginkgo's PCG results).
+"""
+
+from repro.solvers.base import SolveOptions, SolveResult
+from repro.solvers.kernels import KernelCounter
+from repro.solvers.cg import conjugate_gradient
+from repro.solvers.pcg import pcg
+from repro.solvers.bicgstab import bicgstab
+from repro.solvers.gmres import gmres
+from repro.solvers.power_iteration import power_iteration
+from repro.solvers.chebyshev import chebyshev, gershgorin_bounds
+from repro.solvers.registry import (
+    SolverSpec,
+    solver_table,
+    kernels_for,
+)
+from repro.solvers.tracking import ConvergenceHistory
+
+__all__ = [
+    "SolveOptions",
+    "SolveResult",
+    "KernelCounter",
+    "conjugate_gradient",
+    "pcg",
+    "bicgstab",
+    "gmres",
+    "power_iteration",
+    "chebyshev",
+    "gershgorin_bounds",
+    "SolverSpec",
+    "solver_table",
+    "kernels_for",
+    "ConvergenceHistory",
+]

@@ -1,0 +1,69 @@
+"""Common solver types: options and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.solvers.tracking import ConvergenceHistory
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Options shared by all iterative solvers.
+
+    Attributes
+    ----------
+    tol:
+        Relative residual tolerance: converged when
+        ``||r|| <= tol * ||b||`` (matching Ginkgo's default criterion).
+    max_iterations:
+        Iteration budget; exceeding it marks the result unconverged.
+    record_history:
+        When true (default), per-iteration residual norms are recorded.
+    """
+
+    tol: float = 1e-10
+    max_iterations: int = 5000
+    record_history: bool = True
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve.
+
+    Attributes
+    ----------
+    x:
+        The computed solution vector.
+    converged:
+        Whether the residual criterion was met within budget.
+    iterations:
+        Number of iterations executed.
+    residual_norm:
+        Final residual 2-norm.
+    history:
+        Per-iteration convergence record.
+    flops:
+        FLOPs executed per kernel class (keys ``"spmv"``, ``"sptrsv"``,
+        ``"vector"``), from the solver's :class:`KernelCounter`.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
+    flops: dict = field(default_factory=dict)
+
+    @property
+    def total_flops(self) -> int:
+        """Total useful FLOPs across all kernels."""
+        return sum(self.flops.values())
+
+    def flops_per_iteration(self) -> float:
+        """Average useful FLOPs per iteration."""
+        if self.iterations == 0:
+            return 0.0
+        return self.total_flops / self.iterations

@@ -1,0 +1,19 @@
+"""Unpreconditioned conjugate gradients (Table II, "None")."""
+
+from __future__ import annotations
+
+from repro.precond.identity import IdentityPreconditioner
+from repro.solvers.base import SolveOptions, SolveResult
+from repro.solvers.pcg import pcg
+from repro.sparse.csr import CSRMatrix
+
+
+def conjugate_gradient(matrix: CSRMatrix, b, options: SolveOptions = None,
+                       x0=None) -> SolveResult:
+    """Solve ``A x = b`` with plain CG (PCG with identity preconditioner)."""
+    return pcg(
+        matrix, b,
+        preconditioner=IdentityPreconditioner(),
+        options=options,
+        x0=x0,
+    )

@@ -1,0 +1,82 @@
+"""FLOP-accounted kernel wrappers used by the solvers.
+
+The performance analysis (Figs. 3, 21, 22) needs FLOPs broken down by
+kernel class (SpMV, SpTRSV, vector ops).  Solvers route all their linear
+algebra through a :class:`KernelCounter`, which both executes the
+operation and accumulates the accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import (
+    axpy_flops,
+    dot_flops,
+    spmv_flops,
+    sptrsv_flops,
+    sptrsv_lower,
+    sptrsv_upper,
+)
+
+
+class KernelCounter:
+    """Executes kernels while accumulating per-class FLOP counts.
+
+    Counts follow the paper's convention (FMAC = 2 FLOPs) and are split
+    into the three classes of Fig. 3: ``spmv``, ``sptrsv``, ``vector``.
+    Call counts per kernel are tracked as well.
+    """
+
+    def __init__(self):
+        self.flops = {"spmv": 0, "sptrsv": 0, "vector": 0}
+        self.calls = {"spmv": 0, "sptrsv": 0, "vector": 0}
+
+    # -- sparse kernels -------------------------------------------------
+    def spmv(self, matrix: CSRMatrix, x) -> np.ndarray:
+        """Counted ``y = A @ x``."""
+        self.flops["spmv"] += spmv_flops(matrix)
+        self.calls["spmv"] += 1
+        return matrix.spmv(x)
+
+    def sptrsv_lower(self, lower: CSRMatrix, b) -> np.ndarray:
+        """Counted forward triangular solve."""
+        self.flops["sptrsv"] += sptrsv_flops(lower)
+        self.calls["sptrsv"] += 1
+        return sptrsv_lower(lower, b)
+
+    def sptrsv_upper(self, upper: CSRMatrix, b) -> np.ndarray:
+        """Counted backward triangular solve."""
+        self.flops["sptrsv"] += sptrsv_flops(upper)
+        self.calls["sptrsv"] += 1
+        return sptrsv_upper(upper, b)
+
+    # -- vector kernels -------------------------------------------------
+    def dot(self, a, b) -> float:
+        """Counted dot product."""
+        self.flops["vector"] += dot_flops(len(a))
+        self.calls["vector"] += 1
+        return float(np.dot(a, b))
+
+    def axpy(self, alpha: float, x, y) -> np.ndarray:
+        """Counted ``y + alpha * x`` (returns a new vector)."""
+        self.flops["vector"] += axpy_flops(len(x))
+        self.calls["vector"] += 1
+        return y + alpha * x
+
+    def scale_add(self, x, beta: float, y) -> np.ndarray:
+        """Counted ``x + beta * y`` (PCG's search-direction update)."""
+        self.flops["vector"] += axpy_flops(len(x))
+        self.calls["vector"] += 1
+        return x + beta * y
+
+    def norm(self, x) -> float:
+        """Counted 2-norm."""
+        self.flops["vector"] += dot_flops(len(x))
+        self.calls["vector"] += 1
+        return float(np.linalg.norm(x))
+
+    def snapshot(self) -> dict:
+        """A copy of the per-class FLOP totals."""
+        return dict(self.flops)

@@ -1,0 +1,38 @@
+"""Convergence tracking for iterative solvers."""
+
+from __future__ import annotations
+
+
+class ConvergenceHistory:
+    """Records the residual norm at each iteration of a solve."""
+
+    def __init__(self):
+        self._residuals = []
+
+    def record(self, residual_norm: float):
+        """Append one iteration's residual norm."""
+        self._residuals.append(float(residual_norm))
+
+    @property
+    def residuals(self) -> list:
+        """Residual norms, one per recorded iteration."""
+        return list(self._residuals)
+
+    def __len__(self):
+        return len(self._residuals)
+
+    def reduction_factor(self) -> float:
+        """Geometric-mean per-iteration residual reduction."""
+        if len(self._residuals) < 2 or self._residuals[0] == 0.0:
+            return 1.0
+        ratio = self._residuals[-1] / self._residuals[0]
+        if ratio <= 0.0:
+            return 0.0
+        return ratio ** (1.0 / (len(self._residuals) - 1))
+
+    def is_monotonic(self) -> bool:
+        """Whether the residual decreased at every recorded iteration."""
+        return all(
+            later <= earlier
+            for earlier, later in zip(self._residuals, self._residuals[1:])
+        )

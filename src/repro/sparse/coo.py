@@ -1,0 +1,100 @@
+"""Coordinate (COO) sparse matrix format.
+
+COO is the interchange format of this package: generators build COO,
+the Matrix Market reader produces COO, and the compressed formats (CSR,
+CSC) are constructed from it.  Entries may be unsorted; duplicate
+coordinates are summed on conversion, matching common sparse-library
+semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+
+
+class COOMatrix:
+    """A sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    rows, cols:
+        Integer arrays of row/column indices, one entry per nonzero.
+    data:
+        Float array of nonzero values, aligned with ``rows``/``cols``.
+    shape:
+        ``(n_rows, n_cols)`` of the matrix.
+    """
+
+    def __init__(self, rows, cols, data, shape):
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if not (len(self.rows) == len(self.cols) == len(self.data)):
+            raise MatrixFormatError(
+                "rows, cols and data must have equal length; got "
+                f"{len(self.rows)}, {len(self.cols)}, {len(self.data)}"
+            )
+        if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+            raise MatrixFormatError(f"invalid shape {shape!r}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        if len(self.rows) > 0:
+            if self.rows.min() < 0 or self.rows.max() >= self.shape[0]:
+                raise MatrixFormatError("row index out of bounds")
+            if self.cols.min() < 0 or self.cols.max() >= self.shape[1]:
+                raise MatrixFormatError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (before duplicate summing)."""
+        return len(self.data)
+
+    def __repr__(self):
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (swaps row and column indices)."""
+        return COOMatrix(
+            self.cols.copy(),
+            self.rows.copy(),
+            self.data.copy(),
+            (self.shape[1], self.shape[0]),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ndarray (duplicates are summed)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.data)
+        return dense
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return a copy with duplicate coordinates summed into one entry."""
+        if self.nnz == 0:
+            return COOMatrix(self.rows, self.cols, self.data, self.shape)
+        keys = self.rows * self.shape[1] + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        data = self.data[order]
+        unique_keys, start = np.unique(keys, return_index=True)
+        summed = np.add.reduceat(data, start)
+        rows = unique_keys // self.shape[1]
+        cols = unique_keys % self.shape[1]
+        return COOMatrix(rows, cols, summed, self.shape)
+
+    def prune_zeros(self, tol: float = 0.0) -> "COOMatrix":
+        """Return a copy with entries of magnitude <= ``tol`` removed."""
+        keep = np.abs(self.data) > tol
+        return COOMatrix(
+            self.rows[keep], self.cols[keep], self.data[keep], self.shape
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense, tol: float = 0.0) -> "COOMatrix":
+        """Build a COO matrix from a dense array, dropping near-zeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        rows, cols = np.nonzero(np.abs(dense) > tol)
+        return cls(rows, cols, dense[rows, cols], dense.shape)

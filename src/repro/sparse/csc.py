@@ -1,0 +1,115 @@
+"""Compressed Sparse Column (CSC) matrix format.
+
+The column-oriented dataflow of Azul's SpMV and SpTRSV kernels (values
+multicast down *columns*, Sec. IV-A) makes CSC the natural format for
+building task graphs and for the column-substitution SpTRSV variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+
+
+class CSCMatrix:
+    """A sparse matrix in compressed sparse column format.
+
+    Parameters
+    ----------
+    indptr:
+        Column-pointer array of length ``n_cols + 1``.
+    indices:
+        Row indices, length ``nnz``, sorted within each column.
+    data:
+        Nonzero values aligned with ``indices``.
+    shape:
+        ``(n_rows, n_cols)``.
+    """
+
+    def __init__(self, indptr, indices, data, shape):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+
+    def _validate(self):
+        n_rows, n_cols = self.shape
+        if len(self.indptr) != n_cols + 1:
+            raise MatrixFormatError(
+                f"indptr length {len(self.indptr)} != n_cols + 1 ({n_cols + 1})"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise MatrixFormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise MatrixFormatError("indptr must be non-decreasing")
+        if len(self.indices) != len(self.data):
+            raise MatrixFormatError("indices and data must have equal length")
+        if len(self.indices) > 0:
+            if self.indices.min() < 0 or self.indices.max() >= n_rows:
+                raise MatrixFormatError("row index out of bounds")
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return len(self.data)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    def __repr__(self):
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    def col_slice(self, j: int) -> slice:
+        """The slice of ``indices``/``data`` belonging to column ``j``."""
+        return slice(int(self.indptr[j]), int(self.indptr[j + 1]))
+
+    def col(self, j: int):
+        """Return ``(row_indices, values)`` of column ``j`` as views."""
+        sl = self.col_slice(j)
+        return self.indices[sl], self.data[sl]
+
+    def col_nnz(self) -> np.ndarray:
+        """Number of nonzeros in each column."""
+        return np.diff(self.indptr)
+
+    def diagonal(self) -> np.ndarray:
+        """Return the main diagonal as a dense vector (zeros where absent)."""
+        diag = np.zeros(min(self.shape), dtype=np.float64)
+        for j in range(min(self.shape)):
+            rows, vals = self.col(j)
+            hit = np.searchsorted(rows, j)
+            if hit < len(rows) and rows[hit] == j:
+                diag[j] = vals[hit]
+        return diag
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ndarray."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        cols = np.repeat(np.arange(self.n_cols), self.col_nnz())
+        dense[self.indices, cols] = self.data
+        return dense
+
+    def spmv(self, x) -> np.ndarray:
+        """Compute ``y = A @ x`` column-wise (reference implementation)."""
+        x = np.asarray(x, dtype=np.float64)
+        if len(x) != self.n_cols:
+            raise MatrixFormatError(
+                f"vector length {len(x)} != n_cols {self.n_cols}"
+            )
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        if self.nnz:
+            cols = np.repeat(np.arange(self.n_cols), self.col_nnz())
+            np.add.at(y, self.indices, self.data * x[cols])
+        return y
+
+    def __matmul__(self, x):
+        return self.spmv(x)

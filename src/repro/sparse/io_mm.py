@@ -1,0 +1,84 @@
+"""Matrix Market (.mtx) coordinate-format I/O.
+
+Supports the subset used by SuiteSparse SPD matrices: real values,
+``general`` or ``symmetric`` symmetry, and the ``pattern`` field (read
+as all-ones).  Symmetric files are expanded to full storage on read,
+matching how the paper's solvers consume SuiteSparse matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.csr import CSRMatrix
+
+
+def read_matrix_market(path) -> CSRMatrix:
+    """Read a Matrix Market coordinate file into a CSR matrix."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().strip().split()
+        if len(header) < 5 or header[0] != "%%MatrixMarket":
+            raise MatrixFormatError(f"{path}: missing MatrixMarket header")
+        _, obj, fmt, field, symmetry = header[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise MatrixFormatError(
+                f"{path}: only coordinate-format matrices are supported"
+            )
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in ("real", "integer", "pattern"):
+            raise MatrixFormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise MatrixFormatError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        parts = line.split()
+        if len(parts) != 3:
+            raise MatrixFormatError(f"{path}: malformed size line {line!r}")
+        n_rows, n_cols, nnz = (int(p) for p in parts)
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            entry = handle.readline().split()
+            if not entry:
+                raise MatrixFormatError(f"{path}: truncated at entry {k}")
+            rows[k] = int(entry[0]) - 1
+            cols[k] = int(entry[1]) - 1
+            data[k] = 1.0 if field == "pattern" else float(entry[2])
+
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        full_rows = np.concatenate([rows, cols[off_diag]])
+        full_cols = np.concatenate([cols, rows[off_diag]])
+        full_data = np.concatenate([data, data[off_diag]])
+        rows, cols, data = full_rows, full_cols, full_data
+
+    coo = COOMatrix(rows, cols, data, (n_rows, n_cols))
+    return coo_to_csr(coo)
+
+
+def write_matrix_market(path, matrix: CSRMatrix, symmetric: bool = False):
+    """Write a CSR matrix to a Matrix Market coordinate file.
+
+    When ``symmetric`` is true, only the lower triangle is stored and the
+    header declares ``symmetric`` symmetry.
+    """
+    coo = csr_to_coo(matrix)
+    rows, cols, data = coo.rows, coo.cols, coo.data
+    if symmetric:
+        keep = rows >= cols
+        rows, cols, data = rows[keep], cols[keep], data[keep]
+    symmetry = "symmetric" if symmetric else "general"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"%%MatrixMarket matrix coordinate real {symmetry}\n")
+        handle.write(f"% written by repro (Azul reproduction)\n")
+        handle.write(f"{matrix.shape[0]} {matrix.shape[1]} {len(data)}\n")
+        for r, c, v in zip(rows, cols, data):
+            handle.write(f"{r + 1} {c + 1} {v:.17g}\n")

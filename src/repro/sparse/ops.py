@@ -1,0 +1,125 @@
+"""Reference sparse kernels: SpMV and SpTRSV (Sec. II-A of the paper).
+
+These are the functional ground truth against which the dataflow
+simulator's results are validated (the paper checks its simulator
+against Ginkgo the same way).  FLOP-counting helpers use the paper's
+convention: one fused multiply-accumulate is two FLOPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError, NotTriangularError, SingularMatrixError
+from repro.sparse.csr import CSRMatrix
+
+
+def spmv(matrix: CSRMatrix, x) -> np.ndarray:
+    """Sparse matrix-vector product ``y = A @ x``."""
+    return matrix.spmv(x)
+
+
+def sptrsv_lower(lower: CSRMatrix, b, unit_diagonal: bool = False) -> np.ndarray:
+    """Solve ``L x = b`` for lower-triangular ``L`` by forward substitution.
+
+    Parameters
+    ----------
+    lower:
+        Lower-triangular CSR matrix (columns sorted within rows).
+    b:
+        Right-hand-side vector.
+    unit_diagonal:
+        When ``True``, the diagonal is assumed to be all ones and any
+        stored diagonal entries are ignored.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = lower.n_rows
+    if lower.shape[0] != lower.shape[1]:
+        raise MatrixFormatError("triangular solve requires a square matrix")
+    if len(b) != n:
+        raise MatrixFormatError(f"rhs length {len(b)} != n {n}")
+    x = np.zeros(n, dtype=np.float64)
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    for i in range(n):
+        start, end = indptr[i], indptr[i + 1]
+        cols = indices[start:end]
+        vals = data[start:end]
+        if len(cols) and cols[-1] > i:
+            raise NotTriangularError(
+                f"row {i} has entry in column {cols[-1]} above the diagonal"
+            )
+        if unit_diagonal:
+            strictly = cols < i
+            acc = float(np.dot(vals[strictly], x[cols[strictly]]))
+            x[i] = b[i] - acc
+        else:
+            if len(cols) == 0 or cols[-1] != i:
+                raise SingularMatrixError(f"missing diagonal entry in row {i}")
+            acc = float(np.dot(vals[:-1], x[cols[:-1]]))
+            pivot = vals[-1]
+            if pivot == 0.0:
+                raise SingularMatrixError(f"zero pivot in row {i}")
+            x[i] = (b[i] - acc) / pivot
+    return x
+
+
+def sptrsv_upper(upper: CSRMatrix, b, unit_diagonal: bool = False) -> np.ndarray:
+    """Solve ``U x = b`` for upper-triangular ``U`` by backward substitution."""
+    b = np.asarray(b, dtype=np.float64)
+    n = upper.n_rows
+    if upper.shape[0] != upper.shape[1]:
+        raise MatrixFormatError("triangular solve requires a square matrix")
+    if len(b) != n:
+        raise MatrixFormatError(f"rhs length {len(b)} != n {n}")
+    x = np.zeros(n, dtype=np.float64)
+    indptr, indices, data = upper.indptr, upper.indices, upper.data
+    for i in range(n - 1, -1, -1):
+        start, end = indptr[i], indptr[i + 1]
+        cols = indices[start:end]
+        vals = data[start:end]
+        if len(cols) and cols[0] < i:
+            raise NotTriangularError(
+                f"row {i} has entry in column {cols[0]} below the diagonal"
+            )
+        if unit_diagonal:
+            strictly = cols > i
+            acc = float(np.dot(vals[strictly], x[cols[strictly]]))
+            x[i] = b[i] - acc
+        else:
+            if len(cols) == 0 or cols[0] != i:
+                raise SingularMatrixError(f"missing diagonal entry in row {i}")
+            acc = float(np.dot(vals[1:], x[cols[1:]]))
+            pivot = vals[0]
+            if pivot == 0.0:
+                raise SingularMatrixError(f"zero pivot in row {i}")
+            x[i] = (b[i] - acc) / pivot
+    return x
+
+
+# ----------------------------------------------------------------------
+# FLOP accounting (paper convention: FMAC = 2 FLOPs)
+# ----------------------------------------------------------------------
+def spmv_flops(matrix: CSRMatrix) -> int:
+    """Useful FLOPs of one SpMV: one FMAC per stored nonzero."""
+    return 2 * matrix.nnz
+
+def sptrsv_flops(lower: CSRMatrix) -> int:
+    """Useful FLOPs of one SpTRSV.
+
+    Each off-diagonal nonzero contributes an FMAC (2 FLOPs) and each row
+    contributes one multiply by the stored reciprocal diagonal (the paper
+    stores ``1/d`` to avoid divisions on the critical path).
+    """
+    n = lower.n_rows
+    off_diagonal = lower.nnz - n
+    return 2 * off_diagonal + n
+
+
+def dot_flops(n: int) -> int:
+    """FLOPs of a length-``n`` dot product (n multiplies + n-1 adds ~ 2n)."""
+    return 2 * n
+
+
+def axpy_flops(n: int) -> int:
+    """FLOPs of ``y += alpha * x`` (one FMAC per element)."""
+    return 2 * n

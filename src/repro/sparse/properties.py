@@ -1,0 +1,120 @@
+"""Structural and storage properties of sparse matrices.
+
+Includes the SRAM footprint accounting used to size matrices against the
+machine's distributed memory (paper Table IV reports per-matrix A and b
+footprints in MB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+def is_symmetric(matrix: CSRMatrix, rtol: float = 1e-10) -> bool:
+    """Check numeric symmetry (pattern and values) of a square matrix."""
+    if matrix.shape[0] != matrix.shape[1]:
+        return False
+    transpose = matrix.transpose()
+    return (
+        np.array_equal(matrix.indptr, transpose.indptr)
+        and np.array_equal(matrix.indices, transpose.indices)
+        and np.allclose(matrix.data, transpose.data, rtol=rtol, atol=1e-14)
+    )
+
+
+def is_lower_triangular(matrix: CSRMatrix) -> bool:
+    """True if all stored entries lie on or below the main diagonal."""
+    rows = np.repeat(np.arange(matrix.n_rows), matrix.row_nnz())
+    return bool(np.all(matrix.indices <= rows))
+
+
+def is_upper_triangular(matrix: CSRMatrix) -> bool:
+    """True if all stored entries lie on or above the main diagonal."""
+    rows = np.repeat(np.arange(matrix.n_rows), matrix.row_nnz())
+    return bool(np.all(matrix.indices >= rows))
+
+
+def has_full_diagonal(matrix: CSRMatrix) -> bool:
+    """True if every diagonal position is explicitly stored and nonzero."""
+    diag = matrix.diagonal()
+    return bool(np.all(diag != 0.0))
+
+
+def is_diagonally_dominant(matrix: CSRMatrix, strict: bool = True) -> bool:
+    """Check (strict) diagonal dominance row-wise.
+
+    Strict dominance of a symmetric matrix implies positive
+    definiteness (Gershgorin), which is how the suite generators
+    guarantee SPD without an eigendecomposition — this check scales to
+    matrices too large for dense eigenvalue tests.
+    """
+    rows = np.repeat(np.arange(matrix.n_rows), matrix.row_nnz())
+    off_diag = rows != matrix.indices
+    off_sums = np.zeros(matrix.n_rows)
+    np.add.at(off_sums, rows[off_diag], np.abs(matrix.data[off_diag]))
+    diag = matrix.diagonal()
+    if strict:
+        return bool(np.all(diag > off_sums))
+    return bool(np.all(diag >= off_sums))
+
+
+def bandwidth(matrix: CSRMatrix) -> int:
+    """Maximum distance of any stored entry from the main diagonal."""
+    if matrix.nnz == 0:
+        return 0
+    rows = np.repeat(np.arange(matrix.n_rows), matrix.row_nnz())
+    return int(np.max(np.abs(matrix.indices - rows)))
+
+
+@dataclass(frozen=True)
+class RowStats:
+    """Summary statistics of nonzeros-per-row."""
+
+    min: int
+    max: int
+    mean: float
+    std: float
+
+
+def nnz_per_row_stats(matrix: CSRMatrix) -> RowStats:
+    """Distribution of nonzeros per row (drives per-row fixed costs)."""
+    counts = matrix.row_nnz()
+    return RowStats(
+        min=int(counts.min()) if len(counts) else 0,
+        max=int(counts.max()) if len(counts) else 0,
+        mean=float(counts.mean()) if len(counts) else 0.0,
+        std=float(counts.std()) if len(counts) else 0.0,
+    )
+
+
+def matrix_footprint_bytes(matrix: CSRMatrix, nnz_bytes: int = 12) -> int:
+    """SRAM footprint of a sparse matrix.
+
+    Matches the paper's storage model: each nonzero occupies one 96-bit
+    word (64-bit value + 32-bit metadata), i.e. 12 bytes.
+    """
+    return matrix.nnz * nnz_bytes
+
+
+def vector_footprint_bytes(n: int, vector_bytes: int = 8) -> int:
+    """SRAM footprint of one dense vector of length ``n``."""
+    return n * vector_bytes
+
+
+def pcg_working_set_bytes(matrix: CSRMatrix, lower: CSRMatrix,
+                          n_vectors: int = 6, nnz_bytes: int = 12,
+                          vector_bytes: int = 8) -> int:
+    """Total on-chip working set of PCG: A, L, and the solver vectors.
+
+    PCG keeps roughly six dense vectors live (x, r, z, p, Ap and a
+    scratch vector for the two-stage triangular solve).
+    """
+    return (
+        matrix_footprint_bytes(matrix, nnz_bytes)
+        + matrix_footprint_bytes(lower, nnz_bytes)
+        + n_vectors * vector_footprint_bytes(matrix.n_rows, vector_bytes)
+    )

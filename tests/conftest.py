@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import generators as gen
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_spd():
+    """A small SPD matrix with unstructured sparsity."""
+    return gen.random_spd(40, nnz_per_row=4, seed=7)
+
+
+@pytest.fixture
+def grid_matrix():
+    """A 2D grid Laplacian (spatially correlated pattern)."""
+    return gen.grid_laplacian_2d(8, 8)
+
+
+@pytest.fixture
+def mesh_matrix():
+    """A small unstructured FEM-like mesh matrix."""
+    return gen.random_geometric_fem(30, avg_degree=5, dofs_per_node=2, seed=3)
+
+
+def random_csr(rng, n_rows=12, n_cols=10, density=0.25):
+    """Build a random (non-symmetric) CSR matrix for format tests."""
+    from repro.sparse import COOMatrix, coo_to_csr
+
+    mask = rng.random((n_rows, n_cols)) < density
+    rows, cols = np.nonzero(mask)
+    data = rng.standard_normal(len(rows))
+    return coo_to_csr(COOMatrix(rows, cols, data, (n_rows, n_cols)))

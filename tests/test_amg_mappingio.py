@@ -1,0 +1,159 @@
+"""Tests for the AMG preconditioner, placement I/O, DSATUR coloring,
+and queueing stats."""
+
+import numpy as np
+import pytest
+
+from repro.core import map_azul, map_block
+from repro.core.mapping_io import (
+    load_placement,
+    placements_equal,
+    save_placement,
+)
+from repro.errors import MappingError, PreconditionerError
+from repro.graph import greedy_coloring
+from repro.graph.coloring import validate_coloring
+from repro.precond import ic0
+from repro.precond.amg import AMGPreconditioner, aggregate, strength_graph
+from repro.solvers import pcg
+from repro.sparse import generators as gen
+
+
+class TestAMG:
+    def test_aggregation_covers_all_vertices(self):
+        matrix = gen.grid_laplacian_2d(10, 10)
+        agg = aggregate(matrix)
+        assert agg.min() >= 0
+        assert agg.max() + 1 < matrix.n_rows  # actually coarsens
+
+    def test_strength_graph_excludes_weak(self):
+        matrix = gen.grid_laplacian_2d(6, 6)
+        strong = strength_graph(matrix, theta=0.25)
+        for i, neighbors in enumerate(strong):
+            assert i not in neighbors  # no self-coupling
+
+    def test_apply_reduces_residual(self):
+        """One V-cycle must contract the error on a Poisson problem."""
+        matrix = gen.grid_laplacian_2d(16, 16, shift=0.01)
+        precond = AMGPreconditioner(matrix)
+        rng = np.random.default_rng(71)
+        r = rng.standard_normal(matrix.n_rows)
+        z = precond.apply(r)
+        # z approximates A^{-1} r: residual of A z vs r must shrink.
+        assert (
+            np.linalg.norm(matrix.spmv(z) - r) < np.linalg.norm(r)
+        )
+
+    def test_accelerates_pcg(self):
+        matrix = gen.grid_laplacian_2d(20, 20, shift=0.005)
+        b = gen.make_rhs(matrix, seed=72)
+        plain = pcg(matrix, b)
+        amg = pcg(matrix, b, AMGPreconditioner(matrix))
+        assert amg.converged
+        assert amg.iterations < plain.iterations
+
+    def test_coarsening_ratio(self):
+        matrix = gen.grid_laplacian_2d(12, 12)
+        precond = AMGPreconditioner(matrix)
+        assert precond.coarsening_ratio > 1.5
+
+    def test_rejects_non_square(self):
+        from repro.sparse import COOMatrix, coo_to_csr
+
+        rect = coo_to_csr(COOMatrix([0], [1], [1.0], (2, 3)))
+        with pytest.raises(PreconditionerError):
+            AMGPreconditioner(rect)
+
+    def test_spmv_only_kernels(self):
+        matrix = gen.grid_laplacian_2d(8, 8)
+        assert AMGPreconditioner(matrix).kernels == ("spmv",)
+
+
+class TestMappingIO:
+    @pytest.fixture
+    def placement(self):
+        matrix = gen.random_spd(40, nnz_per_row=4, seed=73)
+        lower = ic0(matrix)
+        return map_block(matrix, lower, 16)
+
+    def test_roundtrip(self, placement, tmp_path):
+        path = tmp_path / "placement.npz"
+        save_placement(path, placement)
+        loaded = load_placement(path)
+        assert placements_equal(placement, loaded)
+        assert loaded.mapper == placement.mapper
+
+    def test_version_check(self, placement, tmp_path):
+        path = tmp_path / "placement.npz"
+        np.savez_compressed(
+            path, version=99, n_tiles=4,
+            a_tile=np.zeros(1, dtype=int), l_tile=np.zeros(1, dtype=int),
+            vec_tile=np.zeros(1, dtype=int), mapper="x",
+        )
+        with pytest.raises(MappingError):
+            load_placement(path)
+
+    def test_corrupted_tiles_rejected_on_load(self, tmp_path):
+        path = tmp_path / "placement.npz"
+        np.savez_compressed(
+            path, version=1, n_tiles=4,
+            a_tile=np.array([99]), l_tile=np.zeros(1, dtype=int),
+            vec_tile=np.zeros(1, dtype=int), mapper="x",
+        )
+        with pytest.raises(MappingError):
+            load_placement(path)
+
+    def test_placements_equal_detects_difference(self, placement):
+        import copy
+
+        modified = copy.deepcopy(placement)
+        modified.vec_tile = (modified.vec_tile + 1) % 16
+        assert not placements_equal(placement, modified)
+
+
+class TestDsatur:
+    def test_valid_coloring(self, grid_matrix):
+        colors = greedy_coloring(grid_matrix, strategy="dsatur")
+        assert validate_coloring(grid_matrix, colors)
+
+    def test_grid_two_colors(self):
+        matrix = gen.grid_laplacian_2d(6, 6)
+        colors = greedy_coloring(matrix, strategy="dsatur")
+        assert colors.max() + 1 == 2
+
+    def test_no_more_colors_than_largest_first(self, mesh_matrix):
+        dsatur = greedy_coloring(mesh_matrix, strategy="dsatur")
+        largest = greedy_coloring(mesh_matrix, strategy="largest_first")
+        assert dsatur.max() <= largest.max() + 1
+
+
+class TestQueueDelay:
+    def test_congested_mapping_has_more_queueing(self):
+        from repro.comm import TorusGeometry
+        from repro.config import AzulConfig
+        from repro.core import map_round_robin
+        from repro.dataflow import build_spmv_program
+        from repro.sim import AZUL_PE, KernelSimulator
+
+        matrix = gen.random_spd(80, nnz_per_row=6, seed=74)
+        lower = ic0(matrix)
+        torus = TorusGeometry(4, 4)
+        config = AzulConfig(mesh_rows=4, mesh_cols=4)
+        rr = map_round_robin(matrix, lower, 16)
+        program = build_spmv_program(
+            matrix, rr.a_tile, rr.vec_tile, torus
+        )
+        result = KernelSimulator(program, torus, config, AZUL_PE).run(
+            x=np.ones(80)
+        )
+        assert result.link_queue_delay >= 0
+        # One-tile machines never queue.
+        one = map_round_robin(matrix, lower, 1)
+        program1 = build_spmv_program(
+            matrix, one.a_tile, one.vec_tile, TorusGeometry(1, 1)
+        )
+        local = KernelSimulator(
+            program1, TorusGeometry(1, 1),
+            AzulConfig(mesh_rows=1, mesh_cols=1), AZUL_PE,
+        ).run(x=np.ones(80))
+        assert local.link_queue_delay == 0

@@ -1,0 +1,77 @@
+"""Tests for sparsity-pattern analysis (spatial correlation)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import color_and_permute
+from repro.sparse import generators as gen
+from repro.sparse.analysis import (
+    correlation_decay,
+    pattern_profile,
+    row_jaccard,
+    spatial_correlation,
+)
+
+
+class TestRowJaccard:
+    def test_identical_rows(self):
+        matrix = gen.tridiagonal_spd(6)
+        assert row_jaccard(matrix, 2, 2) == 1.0
+
+    def test_disjoint_rows(self):
+        matrix = gen.tridiagonal_spd(10)
+        # Rows 0 and 9 of a tridiagonal matrix share no columns.
+        assert row_jaccard(matrix, 0, 9) == 0.0
+
+    def test_adjacent_tridiagonal_rows_overlap(self):
+        matrix = gen.tridiagonal_spd(10)
+        # Rows i and i+1 share columns {i, i+1}: |I|=2, |U|=4.
+        assert row_jaccard(matrix, 4, 5) == pytest.approx(0.5)
+
+
+class TestSpatialCorrelation:
+    def test_grid_is_correlated(self):
+        matrix = gen.grid_laplacian_2d(12, 12)
+        assert spatial_correlation(matrix) > 0.2
+
+    def test_random_is_uncorrelated(self):
+        matrix = gen.random_spd(300, nnz_per_row=5, seed=3)
+        assert spatial_correlation(matrix) < 0.05
+
+    def test_banded_more_correlated_than_random(self):
+        banded = gen.banded_spd(100, 8, density=0.9, seed=1)
+        random = gen.random_spd(100, nnz_per_row=8, seed=1)
+        assert spatial_correlation(banded) > spatial_correlation(random)
+
+    def test_permutation_destroys_correlation(self):
+        """Coloring+permutation scrambles row adjacency — part of why
+        position-based mappings fail after preprocessing (Sec. VI-C)."""
+        matrix = gen.grid_laplacian_2d(16, 16)
+        permuted, _, _ = color_and_permute(matrix)
+        assert spatial_correlation(permuted) < spatial_correlation(matrix)
+
+    def test_decay_over_distance(self):
+        matrix = gen.banded_spd(120, 6, density=0.9, seed=2)
+        decay = correlation_decay(matrix, max_lag=6)
+        # Correlation at lag 1 exceeds correlation at the band edge.
+        assert decay[0] > decay[-1]
+
+    def test_tiny_matrix(self):
+        matrix = gen.tridiagonal_spd(2)
+        assert spatial_correlation(matrix, lag=5) == 0.0
+
+
+class TestPatternProfile:
+    def test_profile_fields(self):
+        matrix = gen.grid_laplacian_2d(8, 8)
+        profile = pattern_profile(matrix)
+        assert profile.n == 64
+        assert profile.nnz == matrix.nnz
+        assert profile.nnz_per_row == pytest.approx(matrix.nnz / 64)
+        assert 0 <= profile.diagonal_fraction <= 1
+
+    def test_correlation_classification(self):
+        grid = pattern_profile(gen.grid_laplacian_2d(12, 12))
+        random = pattern_profile(gen.random_spd(200, nnz_per_row=5, seed=4))
+        assert grid.is_spatially_correlated()
+        assert not random.is_spatially_correlated()

@@ -1,0 +1,123 @@
+"""Tests for the end-to-end application harness (Sec. II-C)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AzulExecutionEstimate,
+    HeatTransferModel,
+    PhysicalSystemSimulator,
+    StructuralModel,
+)
+from repro.config import AzulConfig
+from repro.errors import ReproError
+from repro.solvers import SolveOptions
+
+
+class TestHeatTransfer:
+    def test_matrix_is_spd_and_static(self):
+        model = HeatTransferModel(nx=10, ny=10)
+        matrix = model.initial_matrix()
+        dense = matrix.to_dense()
+        assert np.allclose(dense, dense.T)
+        assert np.linalg.eigvalsh(dense).min() > 0
+        assert not hasattr(model, "update_values")
+
+    def test_heat_dissipates_monotonically(self):
+        model = HeatTransferModel(nx=12, ny=12, dt=0.2)
+        simulator = PhysicalSystemSimulator(model)
+        trace = simulator.run(n_steps=10)
+        assert trace.n_steps == 10
+        # Maximum principle: peak temperature can only decay.
+        assert trace.x.max() < model.initial_state().max()
+        assert trace.x.min() >= -1e-8
+
+    def test_heat_spreads(self):
+        model = HeatTransferModel(nx=12, ny=12, dt=0.2)
+        simulator = PhysicalSystemSimulator(model)
+        initially_cold = model.initial_state() == 0.0
+        trace = simulator.run(n_steps=5)
+        # Cold cells adjacent to the hotspot must have warmed up.
+        assert trace.x[initially_cold].max() > 0.01
+
+    def test_warm_start_reduces_iterations(self):
+        """Later timesteps start near the solution and converge faster."""
+        model = HeatTransferModel(nx=12, ny=12, dt=0.05)
+        simulator = PhysicalSystemSimulator(model)
+        trace = simulator.run(n_steps=8)
+        first = trace.records[0].iterations
+        last = trace.records[-1].iterations
+        assert last <= first
+
+    def test_total_heat_helper(self):
+        model = HeatTransferModel(nx=8, ny=8)
+        assert model.total_heat(model.initial_state()) > 0
+
+
+class TestStructural:
+    def test_values_change_pattern_does_not(self):
+        model = StructuralModel(n_nodes=40, dofs=2, softening=0.1)
+        matrix = model.initial_matrix()
+        x = np.ones(matrix.n_rows)
+        updated = model.update_values(matrix, x)
+        assert np.array_equal(updated.indptr, matrix.indptr)
+        assert np.array_equal(updated.indices, matrix.indices)
+        assert not np.allclose(updated.data, matrix.data)
+
+    def test_zero_softening_is_static(self):
+        model = StructuralModel(n_nodes=30, softening=0.0)
+        matrix = model.initial_matrix()
+        assert model.update_values(matrix, np.ones(matrix.n_rows)) is matrix
+
+    def test_simulation_runs_and_refreshes(self):
+        model = StructuralModel(
+            n_nodes=40, dofs=1, softening=0.5, refresh_threshold=0.01
+        )
+        simulator = PhysicalSystemSimulator(
+            model, options=SolveOptions(tol=1e-8)
+        )
+        trace = simulator.run(n_steps=6)
+        assert trace.total_iterations > 0
+        # Strong softening + tight threshold must trigger a refresh.
+        assert trace.refresh_count >= 1
+
+    def test_gentle_drift_avoids_refresh(self):
+        model = StructuralModel(
+            n_nodes=40, dofs=1, softening=0.001, refresh_threshold=0.5
+        )
+        simulator = PhysicalSystemSimulator(model)
+        trace = simulator.run(n_steps=4)
+        assert trace.refresh_count == 0
+
+    def test_pattern_change_rejected(self):
+        """The harness enforces Sec. II-C's static-pattern requirement."""
+
+        class BadModel(StructuralModel):
+            def update_values(self, matrix, x):
+                from repro.sparse.generators import random_spd
+
+                return random_spd(matrix.n_rows, seed=99)
+
+        simulator = PhysicalSystemSimulator(BadModel(n_nodes=30, dofs=1))
+        with pytest.raises(ReproError):
+            simulator.run(n_steps=2)
+
+
+class TestAzulIntegration:
+    def test_execution_estimate(self):
+        model = HeatTransferModel(nx=10, ny=10)
+        simulator = PhysicalSystemSimulator(model)
+        config = AzulConfig(mesh_rows=4, mesh_cols=4)
+        estimate = simulator.azul_estimate(config=config)
+        assert estimate.cycles_per_iteration > 0
+        trace = simulator.run(n_steps=3)
+        assert estimate.solve_seconds(trace.total_iterations) > 0
+
+    def test_amortization_math(self):
+        estimate = AzulExecutionEstimate(
+            cycles_per_iteration=2000, frequency_hz=2e9,
+            mapping_seconds=60.0,
+        )
+        # 0.01 * 60s / (100 iters * 1us) = 6000 steps to reach 1%.
+        steps = estimate.amortization_steps(iterations_per_step=100)
+        assert steps == pytest.approx(6000.0)

@@ -1,0 +1,97 @@
+"""Tests for Chebyshev iteration and the block-Jacobi preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PreconditionerError, ReproError
+from repro.precond import BlockJacobiPreconditioner, JacobiPreconditioner
+from repro.solvers import SolveOptions, chebyshev, gershgorin_bounds, pcg
+from repro.sparse import generators as gen
+
+
+class TestGershgorinBounds:
+    def test_bounds_bracket_spectrum(self, small_spd):
+        lmin, lmax = gershgorin_bounds(small_spd)
+        eigvals = np.linalg.eigvalsh(small_spd.to_dense())
+        assert lmin <= eigvals.min() + 1e-12
+        assert lmax >= eigvals.max() - 1e-12
+        assert lmin > 0  # diagonally dominant generator
+
+
+class TestChebyshev:
+    def test_solves_system(self, small_spd):
+        b, x_true = gen.make_rhs_with_solution(small_spd, seed=51)
+        result = chebyshev(
+            small_spd, b, options=SolveOptions(tol=1e-9, max_iterations=3000)
+        )
+        assert result.converged
+        assert np.allclose(result.x, x_true, atol=1e-5)
+
+    def test_no_dot_products_in_loop(self, small_spd):
+        """Chebyshev's selling point: one SpMV, no reductions beyond the
+        convergence check."""
+        b = gen.make_rhs(small_spd, seed=52)
+        result = chebyshev(small_spd, b)
+        # Vector FLOPs are only norms (1/iter) + AXPYs (3/iter):
+        # far fewer reductions than CG's 3 dots + norm per iteration.
+        assert result.flops["spmv"] > 0
+        assert result.flops["sptrsv"] == 0
+
+    def test_tighter_bounds_converge_faster(self, small_spd):
+        b = gen.make_rhs(small_spd, seed=53)
+        eigvals = np.linalg.eigvalsh(small_spd.to_dense())
+        exact = (float(eigvals.min()), float(eigvals.max()))
+        loose = chebyshev(small_spd, b)
+        tight = chebyshev(small_spd, b, bounds=exact)
+        assert tight.converged
+        assert tight.iterations <= loose.iterations
+
+    def test_rejects_bad_bounds(self, small_spd):
+        b = gen.make_rhs(small_spd, seed=54)
+        with pytest.raises(ReproError):
+            chebyshev(small_spd, b, bounds=(-1.0, 2.0))
+        with pytest.raises(ReproError):
+            chebyshev(small_spd, b, bounds=(3.0, 2.0))
+
+    def test_initial_guess(self, small_spd):
+        b, x_true = gen.make_rhs_with_solution(small_spd, seed=55)
+        result = chebyshev(small_spd, b, x0=x_true)
+        assert result.converged
+        assert result.iterations == 0
+
+
+class TestBlockJacobi:
+    def test_block_size_one_is_jacobi(self, small_spd, rng):
+        r = rng.standard_normal(small_spd.n_rows)
+        blocked = BlockJacobiPreconditioner(small_spd, block_size=1)
+        plain = JacobiPreconditioner(small_spd)
+        assert np.allclose(blocked.apply(r), plain.apply(r))
+
+    def test_apply_inverts_blocks(self, small_spd, rng):
+        block_size = 5
+        precond = BlockJacobiPreconditioner(small_spd, block_size)
+        r = rng.standard_normal(small_spd.n_rows)
+        z = precond.apply(r)
+        dense = small_spd.to_dense()
+        for start in range(0, small_spd.n_rows, block_size):
+            end = min(start + block_size, small_spd.n_rows)
+            block = dense[start:end, start:end]
+            assert np.allclose(block @ z[start:end], r[start:end])
+
+    def test_improves_pcg_over_jacobi(self):
+        matrix = gen.block_dense_spd(8, 8, coupling_per_block=2, seed=61)
+        b = gen.make_rhs(matrix, seed=62)
+        jacobi = pcg(matrix, b, JacobiPreconditioner(matrix))
+        blocked = pcg(matrix, b, BlockJacobiPreconditioner(matrix, 8))
+        assert blocked.converged
+        # Blocks aligned with the matrix's dense blocks: fewer iters.
+        assert blocked.iterations < jacobi.iterations
+
+    def test_rejects_bad_block_size(self, small_spd):
+        with pytest.raises(PreconditionerError):
+            BlockJacobiPreconditioner(small_spd, block_size=0)
+
+    def test_rejects_wrong_length(self, small_spd):
+        precond = BlockJacobiPreconditioner(small_spd, 4)
+        with pytest.raises(PreconditionerError):
+            precond.apply(np.zeros(small_spd.n_rows + 1))

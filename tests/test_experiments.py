@@ -1,0 +1,186 @@
+"""Integration tests for the experiment harness.
+
+Uses small matrix subsets and a 4x4-tile machine so the full pipeline
+(prepare -> map -> simulate -> summarize) runs quickly; the benchmarks
+exercise the full-size configurations.
+"""
+
+import pytest
+
+from repro.config import AzulConfig
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import (
+    fig01,
+    fig03,
+    fig07,
+    fig11,
+    fig17,
+    fig20,
+    fig21,
+    fig22,
+    fig27,
+    tab1,
+    tab2,
+    tab4,
+    tab5,
+)
+from repro.experiments.common import get_placement, prepare, simulate
+
+SMALL = ["offshore", "tmt_sym"]
+TINY_CONFIG = AzulConfig(mesh_rows=4, mesh_cols=4)
+
+
+class TestCommon:
+    def test_prepare_is_cached(self):
+        first = prepare("tmt_sym", 1)
+        second = prepare("tmt_sym", 1)
+        assert first is second
+
+    def test_prepare_outputs_consistent(self):
+        prepared = prepare("offshore", 1)
+        assert prepared.lower.n_rows == prepared.matrix.n_rows
+        assert len(prepared.b) == prepared.matrix.n_rows
+
+    def test_placement_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        fresh = get_placement("tmt_sym", "block", 16)
+        cached = get_placement("tmt_sym", "block", 16)
+        assert (fresh.a_tile == cached.a_tile).all()
+        assert (fresh.vec_tile == cached.vec_tile).all()
+
+    def test_simulate_cached_per_process(self):
+        first = simulate("tmt_sym", mapper="block", pe="azul",
+                         config=TINY_CONFIG)
+        second = simulate("tmt_sym", mapper="block", pe="azul",
+                          config=TINY_CONFIG)
+        assert first is second
+
+
+class TestRunner:
+    def test_registry_covers_all_artifacts(self):
+        paper_artifacts = {
+            "tab4", "fig01", "fig02", "fig03", "tab1", "fig07", "tab2",
+            "fig09", "fig10", "fig11", "fig17", "fig20", "fig21",
+            "fig22", "fig23", "tabD", "tab5", "fig24", "fig25", "fig26",
+            "fig27", "fig28",
+        }
+        extensions = {
+            "tab_fill", "abl_row_weight", "abl_quantiles",
+            "abl_partitioner", "abl_threads", "abl_buffer", "abl_trees",
+            "tab2_sim", "corr_study", "ord_study", "abl_topology", "abl_seed",
+            "model_validation", "eff_study",
+        }
+        assert set(EXPERIMENTS) == paper_artifacts | extensions
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("tab2")
+        assert result.experiment == "tab2"
+
+
+class TestCheapExperiments:
+    def test_tab2(self):
+        result = tab2.run()
+        assert len(result.rows) == 9
+
+    def test_tab4(self):
+        result = tab4.run(section="small")
+        assert len(result.rows) == 20
+
+    def test_tab5(self):
+        result = tab5.run()
+        components = {row["component"] for row in result.rows}
+        assert {"PEs", "Routers", "SRAMs", "I/O", "Total"} <= components
+
+    def test_fig01(self):
+        result = fig01.run(matrices=SMALL)
+        assert all(row["pct_of_peak"] < 1.0 for row in result.rows)
+
+    def test_fig03(self):
+        result = fig03.run(matrices=SMALL)
+        for row in result.rows:
+            assert row["sptrsv"] > 0
+
+    def test_tab1(self):
+        result = tab1.run(matrices=SMALL)
+        for row in result.rows:
+            assert row["spmv"] > row["sptrsv_permuted"]
+
+    def test_fig07(self):
+        result = fig07.run(matrices=SMALL)
+        assert all(row["speedup"] > 1.0 for row in result.rows)
+
+
+class TestSimulatedExperiments:
+    def test_fig20_ordering(self):
+        result = fig20.run(matrices=SMALL, config=TINY_CONFIG)
+        for row in result.rows:
+            assert row["azul_speedup"] > row["dalorex_speedup"]
+
+    def test_fig11_azul_wins(self):
+        result = fig11.run(matrices=SMALL, config=TINY_CONFIG)
+        for row in result.rows:
+            assert row["azul_norm"] <= row["round_robin_norm"]
+
+    def test_fig21_fractions(self):
+        result = fig21.run(matrices=SMALL, config=TINY_CONFIG)
+        for row in result.rows:
+            total = sum(
+                row[k] for k in ("fmac", "add", "mul", "send", "stall")
+            )
+            assert abs(total - 1.0) < 1e-9
+
+    def test_fig22_fractions(self):
+        result = fig22.run(matrices=SMALL, config=TINY_CONFIG)
+        for row in result.rows:
+            assert abs(
+                row["spmv"] + row["sptrsv"] + row["vector"] - 1.0
+            ) < 1e-9
+
+    def test_fig27_multithreading(self):
+        result = fig27.run(matrices=SMALL[:1], config=TINY_CONFIG)
+        assert result.extras["multithreading_gain"] >= 1.0
+
+    def test_fig17_runs(self):
+        result = fig17.run(matrix="tmt_sym", config=TINY_CONFIG,
+                           n_buckets=5)
+        assert len(result.rows) == 5
+        assert result.extras["speedup"] > 0
+
+    def test_tab2_sim_band(self):
+        from repro.experiments import tab2_sim
+
+        result = tab2_sim.run(matrix="tmt_sym", config=TINY_CONFIG)
+        assert len(result.rows) == 9
+        # Every solver must land within one order of magnitude.
+        assert result.extras["max_gflops"] < 10 * result.extras["min_gflops"]
+
+    def test_abl_trees_tiny(self):
+        from repro.experiments import abl_trees
+
+        result = abl_trees.run(matrices=["tmt_sym"], config=TINY_CONFIG)
+        row = result.rows[0]
+        assert row["unicast_links"] >= row["tree_links"]
+        assert row["unicast_cycles"] >= row["tree_cycles"]
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip(self, tmp_path):
+        import csv
+
+        result = tab2.run()
+        path = tmp_path / "tab2.csv"
+        result.to_csv(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(result.rows)
+        assert rows[0]["algorithm"] == result.rows[0]["algorithm"]
+
+    def test_runner_csv_dir(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["tab2", "--csv-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "tab2.csv").exists()

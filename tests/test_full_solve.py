@@ -1,0 +1,104 @@
+"""End-to-end validation: full PCG solves on the simulated machine.
+
+The paper's strongest functional check (Sec. VI-A): the simulator's
+complete PCG results must match a reference implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AzulConfig
+from repro.core import map_azul, map_block, map_round_robin
+from repro.errors import ConvergenceError
+from repro.hypergraph import PartitionerOptions
+from repro.precond import IncompleteCholesky
+from repro.sim import AzulMachine
+from repro.sim.full_solve import simulate_full_pcg
+from repro.solvers import SolveOptions, pcg
+from repro.sparse import generators as gen
+
+
+@pytest.fixture(scope="module")
+def problem():
+    matrix = gen.random_geometric_fem(60, avg_degree=6, dofs_per_node=1,
+                                      seed=17)
+    b, x_true = gen.make_rhs_with_solution(matrix, seed=18)
+    preconditioner = IncompleteCholesky(matrix)
+    return matrix, preconditioner, b, x_true
+
+
+CONFIG = AzulConfig(mesh_rows=4, mesh_cols=4)
+
+
+class TestFullSolve:
+    def test_matches_reference_pcg(self, problem):
+        """Machine-executed PCG == reference PCG, iteration for
+        iteration."""
+        matrix, preconditioner, b, x_true = problem
+        lower = preconditioner.lower_factor()
+        placement = map_block(matrix, lower, CONFIG.num_tiles)
+        machine = AzulMachine(CONFIG)
+        simulated = simulate_full_pcg(
+            machine, matrix, lower, placement, b, tol=1e-10
+        )
+        reference = pcg(matrix, b, preconditioner,
+                        options=SolveOptions(tol=1e-10))
+        assert simulated.converged
+        assert simulated.iterations == reference.iterations
+        assert np.allclose(simulated.x, reference.x, atol=1e-8)
+        assert np.allclose(simulated.x, x_true, atol=1e-5)
+
+    def test_mapping_does_not_change_results(self, problem):
+        """Any placement computes the same answer; only cycles differ."""
+        matrix, preconditioner, b, _ = problem
+        lower = preconditioner.lower_factor()
+        machine = AzulMachine(CONFIG)
+        outcomes = {}
+        for name, mapper in (
+            ("rr", map_round_robin),
+            ("block", map_block),
+        ):
+            placement = mapper(matrix, lower, CONFIG.num_tiles)
+            outcomes[name] = simulate_full_pcg(
+                machine, matrix, lower, placement, b, tol=1e-10
+            )
+        assert np.allclose(outcomes["rr"].x, outcomes["block"].x,
+                           atol=1e-10)
+        assert outcomes["rr"].iterations == outcomes["block"].iterations
+
+    def test_azul_mapping_solves_fastest(self, problem):
+        matrix, preconditioner, b, _ = problem
+        lower = preconditioner.lower_factor()
+        machine = AzulMachine(CONFIG)
+        rr = simulate_full_pcg(
+            machine, matrix, lower,
+            map_round_robin(matrix, lower, CONFIG.num_tiles), b,
+        )
+        azul = simulate_full_pcg(
+            machine, matrix, lower,
+            map_azul(matrix, lower, CONFIG.num_tiles,
+                     options=PartitionerOptions.speed(seed=3)),
+            b,
+        )
+        assert azul.total_cycles < rr.total_cycles
+
+    def test_cycles_accounting(self, problem):
+        matrix, preconditioner, b, _ = problem
+        lower = preconditioner.lower_factor()
+        placement = map_block(matrix, lower, CONFIG.num_tiles)
+        result = simulate_full_pcg(
+            AzulMachine(CONFIG), matrix, lower, placement, b
+        )
+        assert 0 < result.kernel_cycles <= result.total_cycles
+        assert result.seconds(CONFIG.frequency_hz) > 0
+        assert len(result.history) == result.iterations + 1
+
+    def test_raise_on_divergence(self, problem):
+        matrix, preconditioner, b, _ = problem
+        lower = preconditioner.lower_factor()
+        placement = map_block(matrix, lower, CONFIG.num_tiles)
+        with pytest.raises(ConvergenceError):
+            simulate_full_pcg(
+                AzulMachine(CONFIG), matrix, lower, placement, b,
+                max_iterations=1, raise_on_divergence=True,
+            )

@@ -1,0 +1,183 @@
+"""Tests for the analytic baseline models and area/power estimation."""
+
+import numpy as np
+import pytest
+
+from repro.config import AzulConfig, paper_config
+from repro.graph import color_and_permute
+from repro.models import (
+    AlreschaModel,
+    EnergyModel,
+    GPUModel,
+    area_report,
+    power_report,
+)
+from repro.precond import ic0
+from repro.sparse import generators as gen
+
+
+@pytest.fixture(scope="module")
+def operands():
+    matrix = gen.random_geometric_fem(60, avg_degree=6, dofs_per_node=1, seed=6)
+    return matrix, ic0(matrix)
+
+
+class TestGPUModel:
+    def test_utilization_is_tiny(self, operands):
+        """Fig. 1: GPUs achieve well under 1% of peak on PCG."""
+        matrix, lower = operands
+        model = GPUModel()
+        assert model.utilization(matrix, lower) < 0.01
+        assert model.gflops(matrix, lower) > 0
+
+    def test_sptrsv_dominates_runtime(self, operands):
+        """Fig. 3: most GPU time goes to SpTRSV."""
+        matrix, lower = operands
+        fractions = GPUModel().pcg_iteration_time(matrix, lower).fractions()
+        assert fractions["sptrsv"] > fractions["spmv"]
+        assert abs(sum(fractions.values()) - 1.0) < 1e-12
+
+    def test_coloring_speeds_up_gpu(self):
+        """Fig. 7: permuted matrices run faster (fewer SpTRSV levels)."""
+        matrix = gen.banded_spd(300, 10, density=0.8, seed=3)
+        permuted, _, _ = color_and_permute(matrix)
+        model = GPUModel()
+        original_time = model.pcg_iteration_time(
+            matrix, matrix.lower_triangle()
+        ).total
+        permuted_time = model.pcg_iteration_time(
+            permuted, permuted.lower_triangle()
+        ).total
+        assert original_time / permuted_time > 1.5
+
+    def test_bigger_matrix_takes_longer(self, operands):
+        matrix, lower = operands
+        big = gen.grid_laplacian_2d(40, 40)
+        big_lower = ic0(big)
+        model = GPUModel()
+        assert (
+            model.pcg_iteration_time(big, big_lower).total
+            > model.pcg_iteration_time(matrix, lower).spmv
+        )
+
+
+class TestAlreschaModel:
+    def test_bandwidth_bound_throughput(self, operands):
+        """ALRESCHA sustains at most ~48 GFLOP/s (Sec. III)."""
+        matrix, lower = operands
+        model = AlreschaModel()
+        gflops = model.gflops(matrix, lower)
+        assert 0 < gflops < 60
+
+    def test_faster_than_gpu_on_low_parallelism(self):
+        """Fig. 20 left side: ALRESCHA beats the GPU on matrices whose
+        SpTRSV levels throttle the GPU."""
+        matrix = gen.banded_spd(300, 12, density=0.8, seed=5)
+        lower = ic0(matrix)
+        assert AlreschaModel().gflops(matrix, lower) > \
+            GPUModel().gflops(matrix, lower)
+
+    def test_time_scales_with_nnz(self, operands):
+        matrix, lower = operands
+        model = AlreschaModel()
+        time = model.pcg_iteration_time(matrix, lower)
+        expected = (matrix.nnz + 2 * lower.nnz) * 12 / 288e9
+        assert np.isclose(time, expected)
+
+
+class TestArea:
+    def test_paper_configuration_matches_table5(self):
+        """Table V: the 4096-tile machine is ~155 mm^2, SRAM ~74%."""
+        report = area_report(paper_config())
+        assert np.isclose(report.pes, 17.6, atol=0.5)
+        assert np.isclose(report.routers, 6.6, atol=0.2)
+        assert np.isclose(report.srams, 115.2, atol=2.0)
+        assert 150 < report.total < 160
+        assert report.srams / report.total > 0.70
+
+    def test_area_scales_with_tiles(self):
+        small = area_report(AzulConfig(mesh_rows=8, mesh_cols=8))
+        large = area_report(AzulConfig(mesh_rows=16, mesh_cols=16))
+        assert large.pes == pytest.approx(4 * small.pes)
+        assert large.io == small.io  # I/O does not scale
+
+    def test_rows_include_total(self):
+        rows = area_report().rows()
+        assert rows[-1][0] == "Total"
+
+
+class TestPower:
+    def _iteration_result(self, operands):
+        from repro.core import map_block
+        from repro.sim import AzulMachine
+
+        matrix, lower = operands
+        config = AzulConfig(mesh_rows=4, mesh_cols=4)
+        placement = map_block(matrix, lower, 16)
+        b = gen.make_rhs(matrix, seed=1)
+        return AzulMachine(config).simulate_pcg(
+            matrix, lower, placement, b
+        ), config
+
+    def test_power_breakdown(self, operands):
+        result, config = self._iteration_result(operands)
+        report = power_report(result, config)
+        assert report.total > 0
+        assert report.sram > 0
+        assert report.noc > 0
+        assert report.leakage == pytest.approx(16 * 6e-3)
+        assert np.isclose(
+            report.total,
+            report.sram + report.compute + report.noc + report.leakage,
+        )
+
+    def test_sram_dominates_dynamic_power(self, operands):
+        """Sec. VI-E: SRAMs dominate energy."""
+        result, config = self._iteration_result(operands)
+        report = power_report(result, config)
+        assert report.sram > report.compute
+        assert report.sram > report.noc
+
+    def test_energy_model_components(self):
+        energy = EnergyModel()
+        assert energy.sram_energy(100, 10, 5, 20) > 0
+        assert energy.compute_energy(100, 10, 5) > energy.compute_energy(0, 10, 5)
+        assert energy.noc_energy(0) == 0
+        assert energy.leakage_power(4096) == pytest.approx(24.576)
+
+
+class TestPerfMetrics:
+    def test_gmean(self):
+        from repro.perf import gmean
+
+        assert gmean([2, 8]) == pytest.approx(4.0)
+        assert gmean([]) == 0.0
+        with pytest.raises(ValueError):
+            gmean([1.0, -1.0])
+
+    def test_speedup(self):
+        from repro.perf import speedup
+
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_normalize(self):
+        from repro.perf import normalize
+
+        assert normalize([1.0, 2.0, 4.0]) == [0.25, 0.5, 1.0]
+        assert normalize([]) == []
+
+    def test_experiment_result_render(self):
+        from repro.perf import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="figX",
+            title="demo",
+            columns=["matrix", "gflops"],
+        )
+        result.add_row(matrix="thermal2", gflops=123.456)
+        text = result.render()
+        assert "FIGX" in text
+        assert "thermal2" in text
+        assert "123" in text

@@ -1,0 +1,184 @@
+"""Unit tests for the COO/CSR/CSC formats and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_csr,
+    csr_to_coo,
+    csr_to_csc,
+    from_scipy,
+    to_scipy,
+)
+from tests.conftest import random_csr
+
+
+class TestCOO:
+    def test_basic_construction(self):
+        coo = COOMatrix([0, 1], [1, 0], [2.0, 3.0], (2, 2))
+        assert coo.nnz == 2
+        assert coo.shape == (2, 2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MatrixFormatError):
+            COOMatrix([0, 1], [1], [2.0, 3.0], (2, 2))
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(MatrixFormatError):
+            COOMatrix([0, 5], [1, 0], [2.0, 3.0], (2, 2))
+        with pytest.raises(MatrixFormatError):
+            COOMatrix([0, 1], [1, 9], [2.0, 3.0], (2, 2))
+
+    def test_to_dense_sums_duplicates(self):
+        coo = COOMatrix([0, 0], [0, 0], [1.5, 2.5], (1, 1))
+        assert coo.to_dense()[0, 0] == 4.0
+
+    def test_sum_duplicates(self):
+        coo = COOMatrix([0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0], (2, 2))
+        summed = coo.sum_duplicates()
+        assert summed.nnz == 2
+        assert np.allclose(summed.to_dense(), [[3.0, 0.0], [0.0, 5.0]])
+
+    def test_transpose(self):
+        coo = COOMatrix([0, 1], [1, 2], [1.0, 2.0], (2, 3))
+        t = coo.transpose()
+        assert t.shape == (3, 2)
+        assert np.allclose(t.to_dense(), coo.to_dense().T)
+
+    def test_prune_zeros(self):
+        coo = COOMatrix([0, 1], [0, 1], [0.0, 2.0], (2, 2))
+        assert coo.prune_zeros().nnz == 1
+
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((6, 5))
+        dense[np.abs(dense) < 0.8] = 0.0
+        coo = COOMatrix.from_dense(dense)
+        assert np.allclose(coo.to_dense(), dense)
+
+    def test_empty_matrix(self):
+        coo = COOMatrix([], [], [], (3, 3))
+        assert coo.nnz == 0
+        assert np.allclose(coo.to_dense(), np.zeros((3, 3)))
+
+
+class TestCSR:
+    def test_roundtrip_through_coo(self, rng):
+        csr = random_csr(rng)
+        again = coo_to_csr(csr_to_coo(csr))
+        assert again.allclose(csr)
+
+    def test_spmv_matches_dense(self, rng):
+        csr = random_csr(rng)
+        x = rng.standard_normal(csr.n_cols)
+        assert np.allclose(csr.spmv(x), csr.to_dense() @ x)
+
+    def test_matmul_operator(self, rng):
+        csr = random_csr(rng)
+        x = rng.standard_normal(csr.n_cols)
+        assert np.allclose(csr @ x, csr.spmv(x))
+
+    def test_spmv_rejects_bad_length(self, rng):
+        csr = random_csr(rng)
+        with pytest.raises(MatrixFormatError):
+            csr.spmv(np.zeros(csr.n_cols + 1))
+
+    def test_transpose(self, rng):
+        csr = random_csr(rng)
+        assert np.allclose(csr.transpose().to_dense(), csr.to_dense().T)
+
+    def test_row_access(self, rng):
+        csr = random_csr(rng)
+        dense = csr.to_dense()
+        for i in range(csr.n_rows):
+            cols, vals = csr.row(i)
+            assert np.all(np.diff(cols) > 0)  # sorted, unique
+            row = np.zeros(csr.n_cols)
+            row[cols] = vals
+            assert np.allclose(row, dense[i])
+
+    def test_diagonal(self, small_spd):
+        diag = small_spd.diagonal()
+        assert np.allclose(diag, np.diag(small_spd.to_dense()))
+        assert np.all(diag > 0)  # SPD generator guarantees positive diagonal
+
+    def test_triangles_partition_matrix(self, small_spd):
+        lower = small_spd.lower_triangle()
+        upper = small_spd.upper_triangle(include_diagonal=False)
+        assert np.allclose(
+            lower.to_dense() + upper.to_dense(), small_spd.to_dense()
+        )
+
+    def test_lower_triangle_structure(self, small_spd):
+        lower = small_spd.lower_triangle()
+        dense = lower.to_dense()
+        assert np.allclose(dense, np.tril(small_spd.to_dense()))
+
+    def test_scale_rows(self, rng):
+        csr = random_csr(rng)
+        scale = rng.random(csr.n_rows) + 0.5
+        scaled = csr.scale_rows(scale)
+        assert np.allclose(scaled.to_dense(), csr.to_dense() * scale[:, None])
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix([0, 2], [0], [1.0], (1, 1))
+        with pytest.raises(MatrixFormatError):
+            CSRMatrix([1, 1], [], [], (1, 1))
+
+    def test_sort_indices(self):
+        csr = CSRMatrix([0, 2], [1, 0], [5.0, 7.0], (1, 2))
+        sorted_csr = csr.sort_indices()
+        assert list(sorted_csr.indices) == [0, 1]
+        assert list(sorted_csr.data) == [7.0, 5.0]
+
+
+class TestCSC:
+    def test_roundtrip(self, rng):
+        csr = random_csr(rng)
+        csc = csr_to_csc(csr)
+        assert np.allclose(csc.to_dense(), csr.to_dense())
+        assert csc_to_csr(csc).allclose(csr)
+
+    def test_spmv_matches_csr(self, rng):
+        csr = random_csr(rng)
+        csc = csr_to_csc(csr)
+        x = rng.standard_normal(csr.n_cols)
+        assert np.allclose(csc.spmv(x), csr.spmv(x))
+
+    def test_col_access(self, rng):
+        csr = random_csr(rng)
+        csc = csr_to_csc(csr)
+        dense = csr.to_dense()
+        for j in range(csc.n_cols):
+            rows, vals = csc.col(j)
+            col = np.zeros(csc.n_rows)
+            col[rows] = vals
+            assert np.allclose(col, dense[:, j])
+
+    def test_diagonal(self, small_spd):
+        csc = csr_to_csc(small_spd)
+        assert np.allclose(csc.diagonal(), small_spd.diagonal())
+
+
+class TestScipyInterop:
+    def test_from_scipy(self, rng):
+        import scipy.sparse as sps
+
+        mat = sps.random(15, 12, density=0.2, random_state=42, format="csr")
+        ours = from_scipy(mat)
+        assert np.allclose(ours.to_dense(), mat.toarray())
+
+    def test_to_scipy_roundtrip(self, rng):
+        csr = random_csr(rng)
+        assert np.allclose(to_scipy(csr).toarray(), csr.to_dense())
+
+    def test_coo_to_csc_duplicates(self):
+        coo = COOMatrix([0, 0, 1], [1, 1, 0], [1.0, 1.0, 3.0], (2, 2))
+        csc = coo_to_csc(coo)
+        assert csc.nnz == 2
+        assert np.allclose(csc.to_dense(), [[0.0, 2.0], [3.0, 0.0]])

@@ -1,0 +1,92 @@
+"""Tests for simulator trace analysis."""
+
+import numpy as np
+import pytest
+
+from repro.comm import TorusGeometry
+from repro.config import AzulConfig
+from repro.core import map_round_robin
+from repro.dataflow import build_spmv_program
+from repro.precond import ic0
+from repro.sim import AZUL_PE, KernelSimulator
+from repro.sim.trace import (
+    export_trace_csv,
+    idle_tail_fraction,
+    link_heatmap,
+    op_mix_by_tile,
+    tile_activity,
+    utilization_timeline,
+)
+from repro.sparse import generators as gen
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    matrix = gen.random_spd(50, nnz_per_row=5, seed=41)
+    lower = ic0(matrix)
+    placement = map_round_robin(matrix, lower, 16)
+    torus = TorusGeometry(4, 4)
+    config = AzulConfig(mesh_rows=4, mesh_cols=4)
+    program = build_spmv_program(
+        matrix, placement.a_tile, placement.vec_tile, torus
+    )
+    result = KernelSimulator(
+        program, torus, config, AZUL_PE, record_issue_trace=True
+    ).run(x=np.ones(50))
+    return result, torus
+
+
+class TestTraceAnalysis:
+    def test_timeline_bounded(self, traced_result):
+        result, _ = traced_result
+        timeline = utilization_timeline(result, 16, n_buckets=10)
+        assert timeline.shape == (10,)
+        assert np.all(timeline >= 0)
+        assert np.all(timeline <= 1.0 + 1e-9)
+        assert timeline.sum() > 0
+
+    def test_tile_activity_sums_to_ops(self, traced_result):
+        result, _ = traced_result
+        activity = tile_activity(result, 16)
+        assert activity.sum() == sum(result.op_counts.values())
+
+    def test_op_mix_matches_totals(self, traced_result):
+        result, _ = traced_result
+        mix = op_mix_by_tile(result, 16)
+        assert mix[:, 0].sum() == result.op_counts["fmac"]
+        assert mix[:, 1].sum() == result.op_counts["add"]
+        assert mix[:, 3].sum() == result.op_counts["send"]
+
+    def test_link_heatmap_sums_to_activations(self, traced_result):
+        result, torus = traced_result
+        heat = link_heatmap(result, torus)
+        assert heat.sum() == result.link_activations
+
+    def test_idle_tail_fraction_range(self, traced_result):
+        result, _ = traced_result
+        tail = idle_tail_fraction(result, 16)
+        assert 0.0 <= tail <= 1.0
+
+    def test_csv_export(self, traced_result, tmp_path):
+        result, _ = traced_result
+        path = tmp_path / "trace.csv"
+        export_trace_csv(result, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "cycle,tile,op"
+        assert len(lines) == 1 + sum(result.op_counts.values())
+        assert any("fmac" in line for line in lines[1:])
+
+    def test_requires_trace(self):
+        matrix = gen.random_spd(20, nnz_per_row=4, seed=5)
+        lower = ic0(matrix)
+        placement = map_round_robin(matrix, lower, 4)
+        torus = TorusGeometry(2, 2)
+        config = AzulConfig(mesh_rows=2, mesh_cols=2)
+        program = build_spmv_program(
+            matrix, placement.a_tile, placement.vec_tile, torus
+        )
+        result = KernelSimulator(program, torus, config, AZUL_PE).run(
+            x=np.ones(20)
+        )
+        with pytest.raises(ValueError):
+            utilization_timeline(result, 4)
