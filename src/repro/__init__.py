@@ -85,6 +85,10 @@ from repro.sim import (
     IterationResult,
 )
 from repro.models import AlreschaModel, GPUModel, area_report, power_report
+from repro.cache import ArtifactCache, CacheStats
+
+# Imported last: the experiment pipeline builds on everything above.
+from repro.experiments.common import ExperimentSession
 
 __version__ = "1.0.0"
 
@@ -135,5 +139,8 @@ __all__ = [
     "AlreschaModel",
     "area_report",
     "power_report",
+    "ArtifactCache",
+    "CacheStats",
+    "ExperimentSession",
     "__version__",
 ]

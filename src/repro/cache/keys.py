@@ -1,0 +1,93 @@
+"""Stable, content-addressed cache keys.
+
+A cache key must be a pure function of the *logical identity* of an
+artifact: two processes (or two runs months apart) computing the same
+artifact must derive the same key, and any change to an input that
+affects the artifact must change the key.  Python's built-in ``hash``
+and ``repr`` of arbitrary objects are unsuitable (salted hashes, memory
+addresses), so keys are derived from an explicit canonical encoding of
+a small vocabulary of value types.
+
+Objects may opt in by exposing a ``cache_key() -> str`` method
+(:meth:`repro.config.AzulConfig.cache_key` does); anything else that is
+not canonically encodable raises :class:`TypeError` so unstable keys
+can never silently enter the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+#: Separator between encoded parts; chosen so it cannot appear inside
+#: the encoding of a primitive (it is escaped from strings).
+_SEP = "\x1f"
+
+#: Default hex-digest length.  96 bits of sha256 — collisions are
+#: negligible at any realistic cache size.
+DEFAULT_KEY_LENGTH = 24
+
+
+def canonical_encode(part) -> str:
+    """Encode one value deterministically, tagged with its type."""
+    if part is None:
+        return "N"
+    if isinstance(part, bool):  # before int: bool is an int subclass
+        return f"b:{int(part)}"
+    if isinstance(part, int):
+        return f"i:{part}"
+    if isinstance(part, float):
+        return f"f:{part!r}"
+    if isinstance(part, str):
+        return "s:" + part.replace("\\", "\\\\").replace(_SEP, "\\x1f")
+    if isinstance(part, bytes):
+        return "y:" + part.hex()
+    if isinstance(part, (list, tuple)):
+        inner = ",".join(canonical_encode(p) for p in part)
+        return f"l:[{inner}]"
+    if isinstance(part, (set, frozenset)):
+        inner = ",".join(sorted(canonical_encode(p) for p in part))
+        return f"e:[{inner}]"
+    if isinstance(part, dict):
+        items = sorted(
+            (canonical_encode(k), canonical_encode(v))
+            for k, v in part.items()
+        )
+        inner = ",".join(f"{k}={v}" for k, v in items)
+        return f"d:{{{inner}}}"
+    if isinstance(part, np.generic):  # numpy scalar -> python scalar
+        return canonical_encode(part.item())
+    if isinstance(part, np.ndarray):
+        body = np.ascontiguousarray(part)
+        digest = hashlib.sha256(body.tobytes()).hexdigest()
+        return f"a:{part.dtype.str}:{part.shape}:{digest}"
+    cache_key = getattr(part, "cache_key", None)
+    if callable(cache_key):
+        return f"k:{cache_key()}"
+    if dataclasses.is_dataclass(part) and not isinstance(part, type):
+        return "c:" + type(part).__name__ + canonical_encode(
+            dataclasses.asdict(part)
+        )
+    raise TypeError(
+        f"cannot derive a stable cache key from {type(part).__name__!r}; "
+        "give the object a cache_key() method or pass primitives"
+    )
+
+
+def stable_digest(*parts, length: int = DEFAULT_KEY_LENGTH) -> str:
+    """Hex digest of the canonical encoding of ``parts``.
+
+    >>> stable_digest("placement", "tmt_sym", 1) == \\
+    ...     stable_digest("placement", "tmt_sym", 1)
+    True
+    """
+    canonical = _SEP.join(canonical_encode(p) for p in parts)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return digest[:length]
+
+
+def content_checksum(raw: bytes) -> str:
+    """Checksum used to detect on-disk payload corruption."""
+    return "sha256:" + hashlib.sha256(raw).hexdigest()

@@ -16,6 +16,13 @@ Commands
 ``experiment ID``
     Run one experiment from the reproduction harness (see
     ``python -m repro.experiments.runner --list``).
+``cache {stats,clear,verify}``
+    Inspect or maintain the artifact cache (placements, simulation
+    results).  ``stats`` reports disk usage and cumulative
+    hit/miss/corruption counters; ``clear`` deletes every entry;
+    ``verify`` re-checksums all entries (``--fix`` quarantines bad
+    ones).  Honours ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_BYTES`` /
+    ``REPRO_CACHE_DISABLE``.
 """
 
 from __future__ import annotations
@@ -190,6 +197,42 @@ def cmd_experiment(args):
     return 0
 
 
+def cmd_cache(args):
+    from repro.cache import ArtifactCache
+    from repro.perf import format_cache_stats
+
+    cache = ArtifactCache.from_env()
+    if args.action == "stats":
+        # Cumulative persisted counters + anything this process did.
+        merged = cache.persisted_stats().merged(cache.stats)
+        print(format_cache_stats(merged, cache.inventory()))
+        return 0
+    if args.action == "clear":
+        removed, freed = cache.clear()
+        print(
+            f"cleared {removed} file(s), freed {freed} bytes "
+            f"from {cache.root}"
+        )
+        return 0
+    if args.action == "verify":
+        reports = cache.verify(fix=args.fix)
+        bad = [r for r in reports if r.status != "ok"]
+        for report in reports:
+            if report.status != "ok" or args.verbose:
+                detail = f"  ({report.detail})" if report.detail else ""
+                print(
+                    f"{report.status:8s} {report.namespace}/{report.key}"
+                    f"{detail}"
+                )
+        action = "quarantined" if args.fix else "found (run with --fix)"
+        print(
+            f"verified {len(reports)} entr{'y' if len(reports) == 1 else 'ies'}: "
+            f"{len(reports) - len(bad)} ok, {len(bad)} bad {action if bad else ''}".rstrip()
+        )
+        return 1 if bad and not args.fix else 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -236,6 +279,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("id", help="experiment id (e.g. fig20)")
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_cache = sub.add_parser("cache", help="inspect/maintain the "
+                                           "artifact cache")
+    p_cache.add_argument("action", choices=["stats", "clear", "verify"])
+    p_cache.add_argument("--fix", action="store_true",
+                         help="verify: quarantine corrupt entries")
+    p_cache.add_argument("--verbose", action="store_true",
+                         help="verify: list healthy entries too")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

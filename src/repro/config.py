@@ -132,6 +132,23 @@ class AzulConfig:
         return self.bisection_links * (self.link_bits / 8) * self.frequency_hz
 
     # ------------------------------------------------------------------
+    # Cache identity
+    # ------------------------------------------------------------------
+    def cache_key(self) -> str:
+        """Stable digest of every primitive parameter.
+
+        Used by :mod:`repro.cache` to key artifacts derived from this
+        configuration: two configs with equal fields share a key, and
+        any field change (including ones added in future versions)
+        changes it.
+        """
+        from dataclasses import asdict
+
+        from repro.cache.keys import stable_digest
+
+        return stable_digest("azul-config", asdict(self))
+
+    # ------------------------------------------------------------------
     # Convenience constructors
     # ------------------------------------------------------------------
     def scaled(self, factor: int) -> "AzulConfig":

@@ -10,11 +10,7 @@ spill round-trips.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import (
-    default_experiment_config,
-    get_placement,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession
 from repro.perf import ExperimentResult
 from repro.sim import AzulMachine
 
@@ -22,9 +18,10 @@ from repro.sim import AzulMachine
 def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
         buffer_sizes=(2, 4, 16, 64, 256)) -> ExperimentResult:
     """Sweep the per-tile message-buffer capacity on one matrix."""
-    config = config or default_experiment_config()
-    prepared = prepare(matrix, scale)
-    placement = get_placement(matrix, "azul", config.num_tiles, scale=scale)
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
+    prepared = session.prepare(matrix)
+    placement = session.placement(matrix, "azul")
     result = ExperimentResult(
         experiment="abl_buffer",
         title=f"Message-buffer size sweep on {matrix}",

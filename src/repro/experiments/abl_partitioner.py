@@ -13,7 +13,7 @@ import time
 from repro.comm import TorusGeometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic, build_pcg_hypergraph, map_azul
-from repro.experiments.common import default_experiment_config, prepare
+from repro.experiments.common import ExperimentSession
 from repro.hypergraph import PartitionerOptions, connectivity_cut
 from repro.perf import ExperimentResult
 from repro.sim import AzulMachine
@@ -31,9 +31,10 @@ PRESETS = (
 def run(matrix: str = "consph", config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Sweep partitioner presets on one matrix."""
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
-    prepared = prepare(matrix, scale)
+    prepared = session.prepare(matrix)
     machine = AzulMachine(config)
     hypergraph = build_pcg_hypergraph(prepared.matrix, prepared.lower)
     result = ExperimentResult(

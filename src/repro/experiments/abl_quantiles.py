@@ -14,11 +14,7 @@ from repro.comm import TorusGeometry
 from repro.config import AzulConfig
 from repro.core import map_azul
 from repro.dataflow import build_sptrsv_program
-from repro.experiments.common import (
-    default_experiment_config,
-    mapper_options,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession, mapper_options
 from repro.perf import ExperimentResult
 from repro.sim import AZUL_PE, KernelSimulator
 
@@ -26,9 +22,10 @@ from repro.sim import AZUL_PE, KernelSimulator
 def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
         quantile_counts=(0, 2, 5, 10)) -> ExperimentResult:
     """Sweep the quantile count on one matrix's forward SpTRSV."""
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
-    prepared = prepare(matrix, scale)
+    prepared = session.prepare(matrix)
     result = ExperimentResult(
         experiment="abl_quantiles",
         title=f"Time-balancing quantile sweep on {matrix} (fwd SpTRSV)",

@@ -12,11 +12,7 @@ from __future__ import annotations
 from repro.comm import TorusGeometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic, map_azul
-from repro.experiments.common import (
-    default_experiment_config,
-    mapper_options,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession, mapper_options
 from repro.perf import ExperimentResult
 from repro.sim import AzulMachine
 
@@ -24,9 +20,10 @@ from repro.sim import AzulMachine
 def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
         weights=(1.0, 2.0, 4.0)) -> ExperimentResult:
     """Sweep the row-edge weight on one matrix."""
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
-    prepared = prepare(matrix, scale)
+    prepared = session.prepare(matrix)
     machine = AzulMachine(config)
     result = ExperimentResult(
         experiment="abl_row_weight",

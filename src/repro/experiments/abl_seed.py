@@ -14,7 +14,7 @@ import numpy as np
 from repro.comm import TorusGeometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic, build_pcg_hypergraph, map_azul
-from repro.experiments.common import default_experiment_config, prepare
+from repro.experiments.common import ExperimentSession
 from repro.hypergraph import PartitionerOptions, connectivity_cut
 from repro.perf import ExperimentResult
 from repro.sim import AzulMachine
@@ -23,9 +23,10 @@ from repro.sim import AzulMachine
 def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
         seeds=(0, 1, 2)) -> ExperimentResult:
     """Map one matrix with several partitioner seeds."""
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
-    prepared = prepare(matrix, scale)
+    prepared = session.prepare(matrix)
     machine = AzulMachine(config)
     hypergraph = build_pcg_hypergraph(prepared.matrix, prepared.lower)
     result = ExperimentResult(

@@ -9,12 +9,7 @@ more replicated state).
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import (
-    default_experiment_config,
-    default_matrices,
-    get_placement,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult, gmean
 from repro.sim import AzulMachine, PEModel
 
@@ -23,7 +18,8 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
         context_counts=(1, 2, 4, 8, 16)) -> ExperimentResult:
     """Sweep thread contexts; gmean GFLOP/s over the matrix set."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="abl_threads",
         title="PE thread-context sweep: gmean PCG GFLOP/s",
@@ -40,10 +36,8 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
         machine = AzulMachine(config, pe)
         values = []
         for name in matrices:
-            prepared = prepare(name, scale)
-            placement = get_placement(
-                name, "azul", config.num_tiles, scale=scale
-            )
+            prepared = session.prepare(name)
+            placement = session.placement(name, "azul")
             timing = machine.simulate_pcg(
                 prepared.matrix, prepared.lower, placement, prepared.b,
                 check=False,

@@ -9,12 +9,7 @@ the same mapped PCG on both topologies.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import (
-    default_experiment_config,
-    default_matrices,
-    get_placement,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult, gmean
 from repro.sim import AzulMachine
 
@@ -23,7 +18,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Same placement, torus vs mesh timing."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="abl_topology",
         title="NoC topology ablation: torus vs mesh",
@@ -33,9 +29,8 @@ def run(matrices=None, config: AzulConfig = None,
         ],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
-        placement = get_placement(name, "azul", config.num_tiles,
-                                  scale=scale)
+        prepared = session.prepare(name)
+        placement = session.placement(name, "azul")
         runs = {}
         for topology in ("torus", "mesh"):
             machine = AzulMachine(config.with_(topology=topology))

@@ -11,12 +11,7 @@ and with one unicast message per destination (Fig. 18 left).
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import (
-    default_experiment_config,
-    default_matrices,
-    get_placement,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult, gmean
 from repro.sim import AzulMachine
 
@@ -25,7 +20,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Compare tree and unicast distribution on the mapped machine."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     machine = AzulMachine(config)
     result = ExperimentResult(
         experiment="abl_trees",
@@ -36,9 +32,8 @@ def run(matrices=None, config: AzulConfig = None,
         ],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
-        placement = get_placement(name, "azul", config.num_tiles,
-                                  scale=scale)
+        prepared = session.prepare(name)
+        placement = session.placement(name, "azul")
         tree_run = machine.simulate_pcg(
             prepared.matrix, prepared.lower, placement, prepared.b,
             check=False, multicast="tree",

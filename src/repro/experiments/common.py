@@ -1,32 +1,66 @@
-"""Shared experiment infrastructure: preparation and caching.
+"""Shared experiment infrastructure: the :class:`ExperimentSession`
+facade over preparation, mapping, and simulation.
 
 Preparing a matrix for an experiment means: build the suite analog,
 color + permute it (the paper's default preprocessing), and compute the
 IC(0) factor.  Azul mappings are expensive (Sec. VI-D), so placements
-are cached on disk keyed by (matrix, scale, mapper, tiles, preset) —
-exactly how a user of the real system would amortize mapping cost
-across runs.
+— and now steady-state simulation results — are cached through
+:mod:`repro.cache`: a resilient, checksummed, size-capped artifact
+store shared across processes.  A corrupted cache entry is quarantined
+and transparently recomputed; it can never crash an experiment.
+
+API
+---
+The session facade owns configuration, scale, partitioner preset, and
+its caches::
+
+    from repro.experiments.common import ExperimentSession
+
+    session = ExperimentSession(config, scale=1, preset="speed")
+    prepared = session.prepare("tmt_sym")
+    placement = session.placement("tmt_sym", "azul")
+    result = session.simulate("tmt_sym", mapper="azul", pe="azul")
+
+Mapper / PE / matrix / preset names are validated eagerly against the
+registries with actionable messages (including close-match hints).
+
+The module-level free functions :func:`prepare`, :func:`get_placement`
+and :func:`simulate` are retained as deprecated wrappers and will be
+removed in a future release.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
+import difflib
+import threading
 import time
+import warnings
 from dataclasses import dataclass
-from functools import lru_cache
-from pathlib import Path
 
 import numpy as np
 
+from repro.cache import MISS, NPZ, PICKLE, ArtifactCache
 from repro.config import AzulConfig
-from repro.core import Placement, get_mapper
+from repro.core import MAPPERS, Placement, get_mapper
 from repro.graph import color_and_permute
 from repro.hypergraph import PartitionerOptions
 from repro.precond import ic0
-from repro.sim import AzulMachine, pe_model_by_name
-from repro.sparse.generators import make_rhs
+from repro.sim import AzulMachine, pe_model_by_name, pe_model_names
 from repro.sparse.suite import REPRESENTATIVE, get_suite_matrix, suite_names
+
+#: Cache namespaces (subdirectories of the cache root).
+PLACEMENT_NAMESPACE = "placements"
+SIMULATION_NAMESPACE = "simulations"
+
+#: Logical schema of placement / simulation cache entries.  ``v1``
+#: keyed the in-memory simulation cache on the raw ``AzulConfig``
+#: object and hashed keys with an unversioned layout; ``v2`` keys both
+#: tiers on :meth:`AzulConfig.cache_key` so stale entries cannot alias.
+PLACEMENT_SCHEMA = "v2"
+SIMULATION_SCHEMA = "v2"
+
+#: Partitioner presets accepted by :func:`mapper_options`.
+PRESETS = ("speed", "quality", "default")
 
 
 def default_experiment_config() -> AzulConfig:
@@ -44,6 +78,15 @@ def full_suite_matrices() -> list:
     return suite_names("small")
 
 
+def mapper_options(preset: str) -> PartitionerOptions:
+    """Partitioner preset used for Azul mappings in experiments."""
+    if preset == "speed":
+        return PartitionerOptions.speed(seed=0)
+    if preset == "quality":
+        return PartitionerOptions.quality(seed=0)
+    return PartitionerOptions(seed=0)
+
+
 @dataclass(frozen=True)
 class PreparedMatrix:
     """A suite matrix after the paper's standard preprocessing."""
@@ -55,112 +98,271 @@ class PreparedMatrix:
     b: np.ndarray
 
 
-@lru_cache(maxsize=64)
-def prepare(name: str, scale: int = 1) -> PreparedMatrix:
-    """Build, color+permute, and factor one suite matrix (cached)."""
-    matrix, b = get_suite_matrix(name, scale=scale)
-    permuted, permuted_b, _ = color_and_permute(matrix, b)
-    lower = ic0(permuted)
-    return PreparedMatrix(
-        name=name, scale=scale, matrix=permuted, lower=lower, b=permuted_b
+# ----------------------------------------------------------------------
+# Validation helpers
+# ----------------------------------------------------------------------
+def _validate_choice(kind: str, name, choices) -> None:
+    choices = sorted(choices)
+    if name in choices:
+        return
+    hint = ""
+    if isinstance(name, str):
+        close = difflib.get_close_matches(name, choices, n=1)
+        if close:
+            hint = f"; did you mean {close[0]!r}?"
+    raise ValueError(
+        f"unknown {kind} {name!r}: valid choices are "
+        f"{', '.join(repr(c) for c in choices)}{hint}"
     )
 
 
 # ----------------------------------------------------------------------
-# Placement cache
+# Shared preparation memo.  PreparedMatrix is a pure function of
+# (name, scale) — independent of machine config — so one process-wide
+# memo serves every session and preserves the historical identity
+# guarantee (prepare(x) is prepare(x)).
 # ----------------------------------------------------------------------
-def _cache_dir() -> Path:
-    override = os.environ.get("REPRO_CACHE_DIR")
-    if override:
-        path = Path(override)
-    else:
-        path = Path(__file__).resolve().parents[3] / ".cache" / "placements"
-    path.mkdir(parents=True, exist_ok=True)
-    return path
+_PREPARED: dict = {}
+_PREPARED_LOCK = threading.Lock()
 
 
-def _placement_key(name, scale, mapper, n_tiles, preset) -> str:
-    raw = f"{name}:{scale}:{mapper}:{n_tiles}:{preset}:v1"
-    return hashlib.sha1(raw.encode()).hexdigest()[:20]
+def clear_prepared_matrices() -> None:
+    """Drop the process-wide prepared-matrix memo (tests/memory)."""
+    with _PREPARED_LOCK:
+        _PREPARED.clear()
 
 
-def mapper_options(preset: str) -> PartitionerOptions:
-    """Partitioner preset used for Azul mappings in experiments."""
-    if preset == "speed":
-        return PartitionerOptions.speed(seed=0)
-    if preset == "quality":
-        return PartitionerOptions.quality(seed=0)
-    return PartitionerOptions(seed=0)
+# ----------------------------------------------------------------------
+# The session facade
+# ----------------------------------------------------------------------
+class ExperimentSession:
+    """One experiment context: machine config + scale + preset + caches.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration (default: the 8x8 experiment machine).
+    scale:
+        Matrix scale factor passed to the suite generators.
+    preset:
+        Partitioner preset for Azul mappings: ``"speed"``,
+        ``"quality"``, or ``"default"``.
+    cache:
+        An :class:`repro.cache.ArtifactCache`; by default the
+        process-wide cache for the current ``REPRO_CACHE_*``
+        environment, so sessions share disk *and* memory tiers.
+    use_cache:
+        ``False`` bypasses the artifact cache entirely (prepared
+        matrices are still memoized in process).
+    """
+
+    def __init__(self, config: AzulConfig = None, *, scale: int = 1,
+                 preset: str = "speed", cache: ArtifactCache = None,
+                 use_cache: bool = True):
+        config = config if config is not None else default_experiment_config()
+        if not isinstance(config, AzulConfig):
+            raise TypeError(
+                f"config must be an AzulConfig, got {type(config).__name__}"
+            )
+        _validate_choice("preset", preset, PRESETS)
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        self.config = config
+        self.scale = int(scale)
+        self.preset = preset
+        self.use_cache = bool(use_cache)
+        self.cache = cache if cache is not None else ArtifactCache.default()
+
+    # -- preparation ---------------------------------------------------
+    def prepare(self, name: str, scale: int = None) -> PreparedMatrix:
+        """Build, color+permute, and factor one suite matrix (memoized).
+
+        Repeated calls return the identical object.
+        """
+        _validate_choice("matrix", name, suite_names("all"))
+        scale = self.scale if scale is None else int(scale)
+        key = (name, scale)
+        with _PREPARED_LOCK:
+            prepared = _PREPARED.get(key)
+        if prepared is not None:
+            return prepared
+        matrix, b = get_suite_matrix(name, scale=scale)
+        permuted, permuted_b, _ = color_and_permute(matrix, b)
+        prepared = PreparedMatrix(
+            name=name, scale=scale, matrix=permuted,
+            lower=ic0(permuted), b=permuted_b,
+        )
+        with _PREPARED_LOCK:
+            return _PREPARED.setdefault(key, prepared)
+
+    # -- placement -----------------------------------------------------
+    def placement(self, name: str, mapper: str, n_tiles: int = None, *,
+                  scale: int = None, preset: str = None,
+                  use_cache: bool = None) -> Placement:
+        """Map one prepared matrix with one strategy, with caching.
+
+        Azul mappings additionally record their mapping wall-clock time
+        in ``placement_seconds`` (used by the Sec. VI-D cost
+        comparison).
+        """
+        _validate_choice("mapper", mapper, MAPPERS)
+        n_tiles = self.config.num_tiles if n_tiles is None else int(n_tiles)
+        scale = self.scale if scale is None else int(scale)
+        preset = self.preset if preset is None else preset
+        _validate_choice("preset", preset, PRESETS)
+        use_cache = self.use_cache if use_cache is None else bool(use_cache)
+
+        key = self.cache.key(
+            "placement", name, scale, mapper, n_tiles, preset,
+            PLACEMENT_SCHEMA,
+        )
+        if use_cache:
+            arrays = self.cache.get(PLACEMENT_NAMESPACE, key, NPZ)
+            if arrays is not MISS:
+                return self._placement_from_arrays(arrays, n_tiles)
+
+        prepared = self.prepare(name, scale)
+        mapper_fn = get_mapper(mapper)
+        start = time.perf_counter()
+        if mapper == "azul":
+            placement = mapper_fn(
+                prepared.matrix, prepared.lower, n_tiles,
+                options=mapper_options(preset),
+            )
+        else:
+            placement = mapper_fn(prepared.matrix, prepared.lower, n_tiles)
+        seconds = time.perf_counter() - start
+        placement.placement_seconds = seconds
+        if use_cache:
+            self.cache.put(
+                PLACEMENT_NAMESPACE, key,
+                {
+                    "a_tile": placement.a_tile,
+                    "l_tile": placement.l_tile,
+                    "vec_tile": placement.vec_tile,
+                    "mapper": placement.mapper,
+                    "seconds": seconds,
+                },
+                NPZ,
+            )
+        return placement
+
+    @staticmethod
+    def _placement_from_arrays(arrays: dict, n_tiles: int) -> Placement:
+        placement = Placement(
+            n_tiles=n_tiles,
+            a_tile=np.asarray(arrays["a_tile"]),
+            l_tile=np.asarray(arrays["l_tile"]),
+            vec_tile=np.asarray(arrays["vec_tile"]),
+            mapper=str(arrays["mapper"]),
+        )
+        placement.placement_seconds = float(arrays["seconds"])
+        return placement
+
+    # -- simulation ----------------------------------------------------
+    def simulate(self, name: str, mapper: str = "azul", pe: str = "azul",
+                 *, scale: int = None, preset: str = None,
+                 check: bool = True, use_cache: bool = None):
+        """Simulate one steady-state PCG iteration (cached).
+
+        Results live in the in-memory tier (identity-preserving within
+        a process) backed by a persistent on-disk tier keyed on
+        :meth:`AzulConfig.cache_key`, so repeated sweeps across
+        processes skip re-simulation entirely.
+        """
+        _validate_choice("mapper", mapper, MAPPERS)
+        _validate_choice("pe", pe, pe_model_names())
+        scale = self.scale if scale is None else int(scale)
+        preset = self.preset if preset is None else preset
+        _validate_choice("preset", preset, PRESETS)
+        use_cache = self.use_cache if use_cache is None else bool(use_cache)
+
+        key = self.cache.key(
+            "simulate", name, scale, mapper, pe, preset, bool(check),
+            self.config.cache_key(), SIMULATION_SCHEMA,
+        )
+        if use_cache:
+            cached = self.cache.get(SIMULATION_NAMESPACE, key, PICKLE)
+            if cached is not MISS:
+                return cached
+
+        prepared = self.prepare(name, scale)
+        placement = self.placement(
+            name, mapper, self.config.num_tiles,
+            scale=scale, preset=preset, use_cache=use_cache,
+        )
+        machine = AzulMachine(self.config, pe_model_by_name(pe))
+        result = machine.simulate_pcg(
+            prepared.matrix, prepared.lower, placement, prepared.b,
+            check=check,
+        )
+        if use_cache:
+            self.cache.put(SIMULATION_NAMESPACE, key, result, PICKLE)
+        return result
+
+    # -- observability -------------------------------------------------
+    def cache_stats(self):
+        """Live counters of this session's artifact cache."""
+        return self.cache.stats
+
+    def __repr__(self):
+        return (
+            f"ExperimentSession(config={self.config.mesh_rows}x"
+            f"{self.config.mesh_cols}, scale={self.scale}, "
+            f"preset={self.preset!r}, cache={str(self.cache.root)!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Deprecated free-function wrappers (kept for one release)
+# ----------------------------------------------------------------------
+_SESSIONS: dict = {}
+_SESSIONS_LOCK = threading.Lock()
+
+
+def _wrapper_session(config: AzulConfig = None) -> ExperimentSession:
+    """Shared session registry backing the deprecated wrappers."""
+    config = config if config is not None else default_experiment_config()
+    cache = ArtifactCache.default()
+    key = (id(cache), config)
+    with _SESSIONS_LOCK:
+        session = _SESSIONS.get(key)
+        if session is None:
+            session = ExperimentSession(config, cache=cache)
+            _SESSIONS[key] = session
+        return session
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.experiments.common.{old} is deprecated; use "
+        f"ExperimentSession.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def prepare(name: str, scale: int = 1) -> PreparedMatrix:
+    """Deprecated: use :meth:`ExperimentSession.prepare`."""
+    _deprecated("prepare()", "prepare()")
+    return _wrapper_session().prepare(name, scale)
 
 
 def get_placement(name: str, mapper: str, n_tiles: int, scale: int = 1,
                   preset: str = "speed", use_cache: bool = True) -> Placement:
-    """Map one prepared matrix with one strategy, with disk caching.
-
-    Returns the placement; Azul mappings additionally record their
-    mapping wall-clock time in ``placement_seconds`` (used by the
-    Sec. VI-D cost comparison).
-    """
-    prepared = prepare(name, scale)
-    cache_file = _cache_dir() / (
-        _placement_key(name, scale, mapper, n_tiles, preset) + ".npz"
+    """Deprecated: use :meth:`ExperimentSession.placement`."""
+    _deprecated("get_placement()", "placement()")
+    return _wrapper_session().placement(
+        name, mapper, n_tiles, scale=scale, preset=preset,
+        use_cache=use_cache,
     )
-    if use_cache and cache_file.exists():
-        data = np.load(cache_file)
-        placement = Placement(
-            n_tiles=n_tiles,
-            a_tile=data["a_tile"],
-            l_tile=data["l_tile"],
-            vec_tile=data["vec_tile"],
-            mapper=str(data["mapper"]),
-        )
-        placement.placement_seconds = float(data["seconds"])
-        return placement
-
-    mapper_fn = get_mapper(mapper)
-    start = time.perf_counter()
-    if mapper == "azul":
-        placement = mapper_fn(
-            prepared.matrix, prepared.lower, n_tiles,
-            options=mapper_options(preset),
-        )
-    else:
-        placement = mapper_fn(prepared.matrix, prepared.lower, n_tiles)
-    seconds = time.perf_counter() - start
-    placement.placement_seconds = seconds
-    if use_cache:
-        np.savez_compressed(
-            cache_file,
-            a_tile=placement.a_tile,
-            l_tile=placement.l_tile,
-            vec_tile=placement.vec_tile,
-            mapper=placement.mapper,
-            seconds=seconds,
-        )
-    return placement
-
-
-# ----------------------------------------------------------------------
-# Simulation cache (in-memory, keyed by full configuration)
-# ----------------------------------------------------------------------
-_SIM_CACHE = {}
 
 
 def simulate(name: str, mapper: str = "azul", pe: str = "azul",
              config: AzulConfig = None, scale: int = 1,
              preset: str = "speed", check: bool = True):
-    """Simulate one steady-state PCG iteration (cached per process)."""
-    config = config or default_experiment_config()
-    key = (name, mapper, pe, scale, preset, config)
-    if key in _SIM_CACHE:
-        return _SIM_CACHE[key]
-    prepared = prepare(name, scale)
-    placement = get_placement(
-        name, mapper, config.num_tiles, scale=scale, preset=preset
+    """Deprecated: use :meth:`ExperimentSession.simulate`."""
+    _deprecated("simulate()", "simulate()")
+    return _wrapper_session(config).simulate(
+        name, mapper, pe, scale=scale, preset=preset, check=check,
     )
-    machine = AzulMachine(config, pe_model_by_name(pe))
-    result = machine.simulate_pcg(
-        prepared.matrix, prepared.lower, placement, prepared.b, check=check
-    )
-    _SIM_CACHE[key] = result
-    return result

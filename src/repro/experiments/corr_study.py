@@ -14,12 +14,7 @@ import numpy as np
 from repro.comm import TorusGeometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic
-from repro.experiments.common import (
-    default_experiment_config,
-    default_matrices,
-    get_placement,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult
 from repro.sparse.analysis import spatial_correlation
 
@@ -28,7 +23,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Correlate pattern structure with Block-mapping effectiveness."""
     matrices = matrices or (default_matrices() + ["G3_circuit", "tmt_sym"])
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
     result = ExperimentResult(
         experiment="corr_study",
@@ -36,10 +32,10 @@ def run(matrices=None, config: AzulConfig = None,
         columns=["matrix", "correlation", "block_vs_azul_traffic"],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
+        prepared = session.prepare(name)
         correlation = spatial_correlation(prepared.matrix)
-        block = get_placement(name, "block", config.num_tiles, scale=scale)
-        azul = get_placement(name, "azul", config.num_tiles, scale=scale)
+        block = session.placement(name, "block")
+        azul = session.placement(name, "azul")
         block_traffic = analyze_traffic(
             block, prepared.matrix, prepared.lower, torus
         ).total_link_activations

@@ -9,12 +9,7 @@ since it eliminates off-chip DRAM energy entirely.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import (
-    default_experiment_config,
-    default_matrices,
-    prepare,
-    simulate,
-)
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.models import GPUModel, power_report
 from repro.perf import ExperimentResult, gmean
 
@@ -26,7 +21,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """GFLOP/s per watt: simulated Azul vs the GPU model at TDP."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     gpu = GPUModel()
     result = ExperimentResult(
         experiment="eff_study",
@@ -37,9 +33,8 @@ def run(matrices=None, config: AzulConfig = None,
         ],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
-        sim = simulate(name, mapper="azul", pe="azul",
-                       config=config, scale=scale)
+        prepared = session.prepare(name)
+        sim = session.simulate(name, mapper="azul", pe="azul")
         azul_watts = power_report(sim, config).total
         azul_efficiency = sim.gflops() / azul_watts
         gpu_efficiency = (

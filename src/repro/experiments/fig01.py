@@ -8,7 +8,7 @@ same (analog) matrices.
 
 from __future__ import annotations
 
-from repro.experiments.common import default_matrices, prepare
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.models import GPUModel
 from repro.perf import ExperimentResult
 
@@ -16,6 +16,7 @@ from repro.perf import ExperimentResult
 def run(matrices=None, scale: int = 1) -> ExperimentResult:
     """Evaluate the GPU model on the representative matrices."""
     matrices = matrices or default_matrices()
+    session = ExperimentSession(scale=scale)
     model = GPUModel()
     result = ExperimentResult(
         experiment="fig01",
@@ -23,7 +24,7 @@ def run(matrices=None, scale: int = 1) -> ExperimentResult:
         columns=["matrix", "gflops", "pct_of_peak"],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
+        prepared = session.prepare(name)
         gflops = model.gflops(prepared.matrix, prepared.lower)
         result.add_row(
             matrix=name,

@@ -8,12 +8,7 @@ ingredients (mapping and PE) are necessary (Sec. I).
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import (
-    default_experiment_config,
-    default_matrices,
-    prepare,
-    simulate,
-)
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.models import GPUModel
 from repro.perf import ExperimentResult, gmean
 
@@ -22,7 +17,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Gmean GFLOP/s of the four headline configurations."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     gpu = GPUModel()
 
     gpu_gflops = []
@@ -30,19 +26,18 @@ def run(matrices=None, config: AzulConfig = None,
     azul_rr_gflops = []
     azul_gflops = []
     for name in matrices:
-        prepared = prepare(name, scale)
+        prepared = session.prepare(name)
         gpu_gflops.append(gpu.gflops(prepared.matrix, prepared.lower))
         dalorex_gflops.append(
-            simulate(name, mapper="round_robin", pe="dalorex",
-                     config=config, scale=scale).gflops()
+            session.simulate(name, mapper="round_robin",
+                             pe="dalorex").gflops()
         )
         azul_rr_gflops.append(
-            simulate(name, mapper="round_robin", pe="azul",
-                     config=config, scale=scale).gflops()
+            session.simulate(name, mapper="round_robin",
+                             pe="azul").gflops()
         )
         azul_gflops.append(
-            simulate(name, mapper="azul", pe="azul",
-                     config=config, scale=scale).gflops()
+            session.simulate(name, mapper="azul", pe="azul").gflops()
         )
 
     result = ExperimentResult(

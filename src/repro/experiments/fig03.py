@@ -6,7 +6,7 @@ V100, with SpTRSV the largest share on most matrices.
 
 from __future__ import annotations
 
-from repro.experiments.common import default_matrices, prepare
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.models import GPUModel
 from repro.perf import ExperimentResult
 
@@ -14,6 +14,7 @@ from repro.perf import ExperimentResult
 def run(matrices=None, scale: int = 1) -> ExperimentResult:
     """Per-kernel GPU runtime fractions for the representative set."""
     matrices = matrices or default_matrices()
+    session = ExperimentSession(scale=scale)
     model = GPUModel()
     result = ExperimentResult(
         experiment="fig03",
@@ -21,7 +22,7 @@ def run(matrices=None, scale: int = 1) -> ExperimentResult:
         columns=["matrix", "sptrsv", "spmv", "vector"],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
+        prepared = session.prepare(name)
         fractions = model.pcg_iteration_time(
             prepared.matrix, prepared.lower
         ).fractions()

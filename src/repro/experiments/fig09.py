@@ -9,8 +9,7 @@ most issue slots.  The paper measures at most 187 GFLOP/s, ~1% of the
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, simulate
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult
 
 
@@ -18,15 +17,15 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Simulate Dalorex (round-robin mapping + in-order cores) on PCG."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="fig09",
         title="Dalorex PCG throughput (GFLOP/s and fraction of peak)",
         columns=["matrix", "gflops", "fraction_of_peak"],
     )
     for name in matrices:
-        sim = simulate(name, mapper="round_robin", pe="dalorex",
-                       config=config, scale=scale)
+        sim = session.simulate(name, mapper="round_robin", pe="dalorex")
         result.add_row(
             matrix=name,
             gflops=sim.gflops(),

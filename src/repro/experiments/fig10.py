@@ -9,8 +9,7 @@ leave the machine NoC-bound; Azul's mapping restores throughput.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, simulate
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult, gmean
 
 
@@ -21,7 +20,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Idealized-PE throughput under the three mappings."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="fig10",
         title="PCG GFLOP/s with idealized PEs, by data mapping",
@@ -30,8 +30,7 @@ def run(matrices=None, config: AzulConfig = None,
     for name in matrices:
         row = {"matrix": name}
         for mapping in MAPPINGS:
-            sim = simulate(name, mapper=mapping, pe="ideal",
-                           config=config, scale=scale)
+            sim = session.simulate(name, mapper=mapping, pe="ideal")
             row[mapping] = sim.gflops()
         result.add_row(**row)
     gains = [

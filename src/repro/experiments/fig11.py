@@ -11,12 +11,7 @@ from __future__ import annotations
 from repro.comm import TorusGeometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic
-from repro.experiments.common import (
-    default_experiment_config,
-    default_matrices,
-    get_placement,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult, gmean
 
 
@@ -27,7 +22,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Static traffic analysis of one iteration under each mapping."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
     result = ExperimentResult(
         experiment="fig11",
@@ -36,12 +32,10 @@ def run(matrices=None, config: AzulConfig = None,
         + ["azul_reduction_vs_rr"],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
+        prepared = session.prepare(name)
         activations = {}
         for mapping in MAPPINGS:
-            placement = get_placement(
-                name, mapping, config.num_tiles, scale=scale
-            )
+            placement = session.placement(name, mapping)
             report = analyze_traffic(
                 placement, prepared.matrix, prepared.lower, torus
             )

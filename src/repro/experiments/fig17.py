@@ -16,11 +16,7 @@ from repro.comm import TorusGeometry
 from repro.config import AzulConfig
 from repro.core import map_azul
 from repro.dataflow import build_sptrsv_program
-from repro.experiments.common import (
-    default_experiment_config,
-    mapper_options,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession, mapper_options
 from repro.perf import ExperimentResult
 from repro.sim import AZUL_PE, KernelSimulator
 
@@ -39,9 +35,10 @@ def run(matrix: str = "consph", config: AzulConfig = None,
         scale: int = 1, n_buckets: int = 10,
         q: int = 5) -> ExperimentResult:
     """Compare nonzero-balanced (q=0) vs time-balanced (q) mappings."""
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
-    prepared = prepare(matrix, scale)
+    prepared = session.prepare(matrix)
     options = mapper_options("speed")
 
     results = {}

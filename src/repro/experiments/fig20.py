@@ -10,12 +10,7 @@ same algorithm so iteration counts cancel.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import (
-    default_experiment_config,
-    default_matrices,
-    prepare,
-    simulate,
-)
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.models import AlreschaModel, GPUModel
 from repro.perf import ExperimentResult, gmean
 
@@ -24,7 +19,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """End-to-end comparison across the four architectures."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     gpu = GPUModel()
     alrescha = AlreschaModel()
     result = ExperimentResult(
@@ -36,17 +32,16 @@ def run(matrices=None, config: AzulConfig = None,
         ],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
+        prepared = session.prepare(name)
         gpu_time = gpu.pcg_iteration_time(
             prepared.matrix, prepared.lower
         ).total
         alrescha_time = alrescha.pcg_iteration_time(
             prepared.matrix, prepared.lower
         )
-        dalorex_sim = simulate(name, mapper="round_robin", pe="dalorex",
-                               config=config, scale=scale)
-        azul_sim = simulate(name, mapper="azul", pe="azul",
-                            config=config, scale=scale)
+        dalorex_sim = session.simulate(name, mapper="round_robin",
+                                       pe="dalorex")
+        azul_sim = session.simulate(name, mapper="azul", pe="azul")
         dalorex_time = dalorex_sim.total_cycles / config.frequency_hz
         azul_time = azul_sim.total_cycles / config.frequency_hz
         result.add_row(

@@ -9,8 +9,7 @@ row matrices spend more on reductions (Sends and Adds).
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, simulate
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult
 from repro.sim import breakdown_from_results
 
@@ -19,15 +18,15 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Per-matrix PE cycle breakdown on simulated Azul."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="fig21",
         title="Azul PE cycle breakdown (fractions of issue slots)",
         columns=["matrix", "fmac", "add", "mul", "send", "stall"],
     )
     for name in matrices:
-        sim = simulate(name, mapper="azul", pe="azul",
-                       config=config, scale=scale)
+        sim = session.simulate(name, mapper="azul", pe="azul")
         breakdown = breakdown_from_results(
             sim.kernel_results, config.num_tiles,
             extra_cycles=sim.vector_cycles,

@@ -8,8 +8,7 @@ parallelism-limited while SpMV is not), and vector ops are small.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, simulate
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult
 
 
@@ -17,15 +16,15 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Per-kernel runtime fractions on simulated Azul."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="fig22",
         title="Azul PCG runtime breakdown by kernel (normalized)",
         columns=["matrix", "spmv", "sptrsv", "vector"],
     )
     for name in matrices:
-        sim = simulate(name, mapper="azul", pe="azul",
-                       config=config, scale=scale)
+        sim = session.simulate(name, mapper="azul", pe="azul")
         phases = sim.cycles_by_phase()
         total = sim.total_cycles
         result.add_row(

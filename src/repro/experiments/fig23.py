@@ -9,8 +9,7 @@ Block by 13.5x, SparseP by 25.2x.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, simulate
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult, gmean
 
 
@@ -21,7 +20,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Throughput of each mapping on the real-PE simulator."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="fig23",
         title="PCG GFLOP/s by data mapping (Azul PEs)",
@@ -30,8 +30,7 @@ def run(matrices=None, config: AzulConfig = None,
     for name in matrices:
         row = {"matrix": name}
         for mapping in MAPPINGS:
-            sim = simulate(name, mapper=mapping, pe="azul",
-                           config=config, scale=scale)
+            sim = session.simulate(name, mapper=mapping, pe="azul")
             row[mapping] = sim.gflops()
         result.add_row(**row)
     summary = []

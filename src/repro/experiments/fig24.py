@@ -9,8 +9,7 @@ attached arithmetic), total 210 W average at 4096 tiles.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, simulate
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.models import power_report
 from repro.perf import ExperimentResult
 
@@ -19,15 +18,15 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Estimate power for each matrix from simulated activity."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="fig24",
         title="Azul power by component (watts)",
         columns=["matrix", "sram", "compute", "noc", "leakage", "total"],
     )
     for name in matrices:
-        sim = simulate(name, mapper="azul", pe="azul",
-                       config=config, scale=scale)
+        sim = session.simulate(name, mapper="azul", pe="azul")
         report = power_report(sim, config)
         result.add_row(matrix=name, **report.as_dict())
     result.notes = (

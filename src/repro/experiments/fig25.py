@@ -8,8 +8,8 @@ makes it latency-tolerant.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, simulate
+from repro.experiments.common import ExperimentSession, \
+    default_experiment_config, default_matrices
 from repro.perf import ExperimentResult, gmean
 
 
@@ -26,9 +26,9 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
     baseline = None
     for hop in latencies:
         swept = config.with_(hop_cycles=hop)
+        swept_session = ExperimentSession(swept, scale=scale)
         values = [
-            simulate(name, mapper="azul", pe="azul",
-                     config=swept, scale=scale).gflops()
+            swept_session.simulate(name, mapper="azul", pe="azul").gflops()
             for name in matrices
         ]
         value = gmean(values)

@@ -7,8 +7,8 @@ paper measures ~3% loss per extra cycle (multithreading hides latency).
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, simulate
+from repro.experiments.common import ExperimentSession, \
+    default_experiment_config, default_matrices
 from repro.perf import ExperimentResult, gmean
 
 
@@ -25,9 +25,9 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
     baseline = None
     for latency in latencies:
         swept = config.with_(sram_access_cycles=latency)
+        swept_session = ExperimentSession(swept, scale=scale)
         values = [
-            simulate(name, mapper="azul", pe="azul",
-                     config=swept, scale=scale).gflops()
+            swept_session.simulate(name, mapper="azul", pe="azul").gflops()
             for name in matrices
         ]
         value = gmean(values)

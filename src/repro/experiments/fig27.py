@@ -7,8 +7,7 @@ measures a 1.5x gain from hiding accumulator-dependence stalls.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, simulate
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult, gmean
 
 
@@ -16,7 +15,8 @@ def run(matrices=None, config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Compare multithreaded and single-threaded PE configurations."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="fig27",
         title="Multithreading ablation: gmean PCG GFLOP/s",
@@ -25,8 +25,7 @@ def run(matrices=None, config: AzulConfig = None,
     values = {}
     for pe in ("azul", "azul_single"):
         values[pe] = gmean([
-            simulate(name, mapper="azul", pe=pe,
-                     config=config, scale=scale).gflops()
+            session.simulate(name, mapper="azul", pe=pe).gflops()
             for name in matrices
         ])
         result.add_row(pe="multi" if pe == "azul" else "single",

@@ -11,7 +11,8 @@ scaled alongside.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, simulate
+from repro.experiments.common import ExperimentSession, \
+    default_experiment_config
 from repro.perf import ExperimentResult
 
 #: (matrix, matrix-scale) pairs per machine; mirrors the paper's mix of
@@ -41,8 +42,9 @@ def run(cases=DEFAULT_CASES, config: AzulConfig = None) -> ExperimentResult:
         row = {"matrix": name}
         values = []
         for label, machine_config in machines:
-            sim = simulate(name, mapper="azul", pe="azul",
-                           config=machine_config, scale=scale)
+            sim = ExperimentSession(machine_config).simulate(
+                name, mapper="azul", pe="azul", scale=scale,
+            )
             row[label] = sim.gflops()
             values.append(row[label])
         row["scaling_4x"] = values[-1] / values[0]

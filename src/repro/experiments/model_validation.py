@@ -13,13 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import AzulConfig
-from repro.experiments.common import (
-    default_experiment_config,
-    default_matrices,
-    get_placement,
-    prepare,
-    simulate,
-)
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.models.azul_analytic import predict_iteration
 from repro.perf import ExperimentResult
 
@@ -28,7 +22,8 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
         mappers=("round_robin", "azul")) -> ExperimentResult:
     """Predicted vs simulated iteration cycles per matrix/mapping."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="model_validation",
         title="Analytic model vs cycle simulator (iteration cycles)",
@@ -38,17 +33,13 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
         ],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
+        prepared = session.prepare(name)
         for mapper in mappers:
-            placement = get_placement(
-                name, mapper, config.num_tiles, scale=scale
-            )
+            placement = session.placement(name, mapper)
             prediction = predict_iteration(
                 prepared.matrix, prepared.lower, placement, config
             )
-            simulated = simulate(
-                name, mapper=mapper, pe="azul", config=config, scale=scale
-            )
+            simulated = session.simulate(name, mapper=mapper, pe="azul")
             error = (
                 (prediction.total_cycles - simulated.total_cycles)
                 / simulated.total_cycles

@@ -81,6 +81,10 @@ def main(argv=None):
         "--csv-dir", default=None, metavar="DIR",
         help="also write each result as DIR/<id>.csv",
     )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print artifact-cache statistics after the runs",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for experiment_id in EXPERIMENTS:
@@ -100,6 +104,12 @@ def main(argv=None):
             result.to_csv(
                 os.path.join(args.csv_dir, f"{experiment_id}.csv")
             )
+    if args.cache_stats:
+        from repro.cache import ArtifactCache
+        from repro.perf import format_cache_stats
+
+        cache = ArtifactCache.default()
+        print(format_cache_stats(cache.stats, cache.inventory()))
     return 0
 
 

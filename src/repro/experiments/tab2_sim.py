@@ -9,11 +9,7 @@ accelerates the kernels, not one specific algorithm.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import (
-    default_experiment_config,
-    get_placement,
-    prepare,
-)
+from repro.experiments.common import ExperimentSession
 from repro.perf import ExperimentResult
 from repro.sim import AzulMachine
 from repro.sim.solver_timing import RECIPES, solver_iteration_cycles
@@ -22,9 +18,10 @@ from repro.sim.solver_timing import RECIPES, solver_iteration_cycles
 def run(matrix: str = "consph", config: AzulConfig = None,
         scale: int = 1) -> ExperimentResult:
     """Per-solver iteration cycles and GFLOP/s on one mapped matrix."""
-    config = config or default_experiment_config()
-    prepared = prepare(matrix, scale)
-    placement = get_placement(matrix, "azul", config.num_tiles, scale=scale)
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
+    prepared = session.prepare(matrix)
+    placement = session.placement(matrix, "azul")
     machine = AzulMachine(config)
     program = machine.compile(prepared.matrix, prepared.lower, placement)
     base = machine.simulate_iteration(program, p=prepared.b, r=prepared.b)

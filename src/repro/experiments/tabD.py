@@ -10,8 +10,7 @@ simulations.
 from __future__ import annotations
 
 from repro.config import AzulConfig
-from repro.experiments.common import default_experiment_config, \
-    default_matrices, get_placement
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult
 
 
@@ -22,7 +21,8 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
         use_cache: bool = False) -> ExperimentResult:
     """Measure mapping wall-clock seconds per matrix and strategy."""
     matrices = matrices or default_matrices()
-    config = config or default_experiment_config()
+    session = ExperimentSession(config, scale=scale)
+    config = session.config
     result = ExperimentResult(
         experiment="tabD",
         title="Mapping preprocessing cost (seconds)",
@@ -31,9 +31,8 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
     for name in matrices:
         row = {"matrix": name}
         for mapping in MAPPINGS:
-            placement = get_placement(
-                name, mapping, config.num_tiles, scale=scale,
-                use_cache=use_cache,
+            placement = session.placement(
+                name, mapping, use_cache=use_cache,
             )
             row[f"{mapping}_s"] = placement.placement_seconds
         result.add_row(**row)

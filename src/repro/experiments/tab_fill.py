@@ -8,7 +8,7 @@ paper (and this reproduction) focuses on iterative solvers.
 
 from __future__ import annotations
 
-from repro.experiments.common import default_matrices, prepare
+from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult
 from repro.solvers import SolveOptions, pcg
 from repro.sparse.cholesky import direct_vs_iterative_flops, symbolic_cholesky
@@ -17,6 +17,7 @@ from repro.sparse.cholesky import direct_vs_iterative_flops, symbolic_cholesky
 def run(matrices=None, scale: int = 1) -> ExperimentResult:
     """Fill ratios and FLOP comparison for the representative set."""
     matrices = matrices or default_matrices()
+    session = ExperimentSession(scale=scale)
     result = ExperimentResult(
         experiment="tab_fill",
         title="Direct-solver fill-in vs iterative solve (Sec. II)",
@@ -26,7 +27,7 @@ def run(matrices=None, scale: int = 1) -> ExperimentResult:
         ],
     )
     for name in matrices:
-        prepared = prepare(name, scale)
+        prepared = session.prepare(name)
         factor = symbolic_cholesky(prepared.matrix)
         solve = pcg(
             prepared.matrix, prepared.b,

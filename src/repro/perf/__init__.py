@@ -6,6 +6,7 @@ from repro.perf.metrics import (
     normalize,
 )
 from repro.perf.summarize import (
+    format_cache_stats,
     format_table,
     ExperimentResult,
 )
@@ -15,5 +16,6 @@ __all__ = [
     "speedup",
     "normalize",
     "format_table",
+    "format_cache_stats",
     "ExperimentResult",
 ]

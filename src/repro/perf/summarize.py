@@ -97,3 +97,60 @@ def format_table(columns: list, rows: list) -> str:
     for r in rendered:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
     return "\n".join(lines)
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def format_cache_stats(stats, inventory: dict = None) -> str:
+    """Render artifact-cache observability as a plain-text summary.
+
+    Parameters
+    ----------
+    stats:
+        A :class:`repro.cache.CacheStats` (live, persisted, or merged).
+    inventory:
+        Optional :meth:`repro.cache.ArtifactCache.inventory` dict with
+        on-disk entry counts and sizes.
+    """
+    lines = ["artifact cache"]
+    if inventory is not None:
+        lines.append(f"  root:        {inventory['root']}")
+        lines.append(
+            f"  disk usage:  {_format_bytes(inventory['total_bytes'])}"
+            f" / {_format_bytes(inventory['max_bytes'])} budget"
+            + ("" if inventory.get("enabled", True) else "  [DISABLED]")
+        )
+        for namespace, bucket in sorted(inventory["namespaces"].items()):
+            lines.append(
+                f"    {namespace:14s} {bucket['entries']:5d} entries  "
+                f"{_format_bytes(bucket['bytes'])}"
+            )
+        if inventory.get("quarantined_files"):
+            lines.append(
+                f"  quarantined: {inventory['quarantined_files']} file(s)"
+            )
+        if inventory.get("tmp_files"):
+            lines.append(
+                f"  tmp files:   {inventory['tmp_files']} (interrupted "
+                "writes; swept automatically)"
+            )
+    lines.append(
+        f"  hits:        {stats.hits} "
+        f"(memory {stats.hits_memory}, disk {stats.hits_disk})"
+    )
+    lines.append(f"  misses:      {stats.misses}")
+    lines.append(f"  hit rate:    {stats.hit_rate():.1%}")
+    lines.append(f"  writes:      {stats.writes}")
+    lines.append(f"  evictions:   {stats.evictions}")
+    lines.append(
+        f"  corruptions: {stats.corruptions} "
+        f"(quarantined {stats.quarantined})"
+    )
+    return "\n".join(lines)

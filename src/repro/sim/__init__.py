@@ -25,6 +25,7 @@ from repro.sim.pe import (
     DALOREX_PE,
     IDEAL_PE,
     pe_model_by_name,
+    pe_model_names,
 )
 from repro.sim.engine import KernelSimulator, KernelResult
 from repro.sim.machine import AzulMachine, IterationResult
@@ -44,6 +45,7 @@ __all__ = [
     "DALOREX_PE",
     "IDEAL_PE",
     "pe_model_by_name",
+    "pe_model_names",
     "KernelSimulator",
     "KernelResult",
     "AzulMachine",

@@ -78,3 +78,8 @@ def pe_model_by_name(name: str) -> PEModel:
         raise KeyError(
             f"unknown PE model {name!r}; choices: {sorted(_BY_NAME)}"
         ) from None
+
+
+def pe_model_names() -> list:
+    """Names of all registered PE model presets."""
+    return sorted(_BY_NAME)

@@ -1,9 +1,33 @@
 """Shared fixtures and helpers for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.sparse import generators as gen
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the artifact cache at a throwaway directory for the whole run.
+
+    Keeps the suite hermetic: tests never read a developer's (possibly
+    stale or corrupt) ``.cache/`` tree and never pollute it either.
+    Individual tests can still monkeypatch ``REPRO_CACHE_DIR`` to their
+    own ``tmp_path``; ``ArtifactCache.default()`` keys its registry on
+    the env fingerprint, so overrides take effect immediately.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    root = tmp_path_factory.mktemp("repro-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    try:
+        yield root
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -24,7 +24,12 @@ from repro.experiments import (
     tab4,
     tab5,
 )
-from repro.experiments.common import get_placement, prepare, simulate
+from repro.experiments.common import (
+    ExperimentSession,
+    get_placement,
+    prepare,
+    simulate,
+)
 
 SMALL = ["offshore", "tmt_sym"]
 TINY_CONFIG = AzulConfig(mesh_rows=4, mesh_cols=4)
@@ -32,28 +37,56 @@ TINY_CONFIG = AzulConfig(mesh_rows=4, mesh_cols=4)
 
 class TestCommon:
     def test_prepare_is_cached(self):
-        first = prepare("tmt_sym", 1)
-        second = prepare("tmt_sym", 1)
+        session = ExperimentSession(TINY_CONFIG)
+        first = session.prepare("tmt_sym")
+        second = session.prepare("tmt_sym")
+        assert first is second
+
+    def test_prepare_shared_across_sessions(self):
+        first = ExperimentSession(TINY_CONFIG).prepare("tmt_sym")
+        second = ExperimentSession(TINY_CONFIG).prepare("tmt_sym")
         assert first is second
 
     def test_prepare_outputs_consistent(self):
-        prepared = prepare("offshore", 1)
+        prepared = ExperimentSession(TINY_CONFIG).prepare("offshore")
         assert prepared.lower.n_rows == prepared.matrix.n_rows
         assert len(prepared.b) == prepared.matrix.n_rows
 
     def test_placement_disk_cache_roundtrip(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-        fresh = get_placement("tmt_sym", "block", 16)
-        cached = get_placement("tmt_sym", "block", 16)
+        session = ExperimentSession(TINY_CONFIG)
+        fresh = session.placement("tmt_sym", "block", 16)
+        cached = session.placement("tmt_sym", "block", 16)
         assert (fresh.a_tile == cached.a_tile).all()
         assert (fresh.vec_tile == cached.vec_tile).all()
 
     def test_simulate_cached_per_process(self):
-        first = simulate("tmt_sym", mapper="block", pe="azul",
-                         config=TINY_CONFIG)
-        second = simulate("tmt_sym", mapper="block", pe="azul",
-                          config=TINY_CONFIG)
+        session = ExperimentSession(TINY_CONFIG)
+        first = session.simulate("tmt_sym", mapper="block", pe="azul")
+        second = session.simulate("tmt_sym", mapper="block", pe="azul")
         assert first is second
+
+
+class TestDeprecatedWrappers:
+    """The pre-session free functions still work but warn."""
+
+    def test_prepare_warns(self):
+        with pytest.warns(DeprecationWarning, match="ExperimentSession"):
+            prepared = prepare("tmt_sym", 1)
+        assert prepared.matrix.n_rows > 0
+
+    def test_get_placement_warns(self):
+        with pytest.warns(DeprecationWarning, match="ExperimentSession"):
+            placement = get_placement("tmt_sym", "block", 16)
+        assert len(placement.a_tile) > 0
+
+    def test_simulate_warns_and_matches_session(self):
+        with pytest.warns(DeprecationWarning, match="ExperimentSession"):
+            legacy = simulate("tmt_sym", mapper="block", pe="azul",
+                              config=TINY_CONFIG)
+        session = ExperimentSession(TINY_CONFIG)
+        modern = session.simulate("tmt_sym", mapper="block", pe="azul")
+        assert legacy is modern
 
 
 class TestRunner:
