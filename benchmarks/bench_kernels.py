@@ -92,3 +92,100 @@ def test_kernel_simulation(benchmark, matrix, lower):
         rounds=1, iterations=1,
     )
     assert np.allclose(result.output, matrix.spmv(x))
+
+
+# ----------------------------------------------------------------------
+# Simulator-engine benchmarks (tracked in BENCH_sim.json)
+# ----------------------------------------------------------------------
+# The pair of ``test_spmv_sim`` / ``test_spmv_sim_reference`` entries is
+# the headline perf artifact: the batched engine must stay bit-identical
+# to the reference path (asserted here on cycles and output) while being
+# substantially faster.  ``benchmarks/emit_bench_sim.py`` runs the
+# ``sim_engine`` marker set with ``--benchmark-json`` and
+# ``benchmarks/check_regression.py`` gates the recorded timings.
+
+
+@pytest.fixture(scope="module")
+def spmv_sim_setup(matrix, lower):
+    config = AzulConfig(mesh_rows=4, mesh_cols=4)
+    torus = TorusGeometry(4, 4)
+    placement = map_block(matrix, lower, 16)
+    program = build_spmv_program(
+        matrix, placement.a_tile, placement.vec_tile, torus
+    )
+    x = np.ones(matrix.n_rows)
+    return program, torus, config, x
+
+
+@pytest.fixture(scope="module")
+def sptrsv_sim_setup(matrix, lower):
+    from repro.dataflow import build_sptrsv_program
+
+    config = AzulConfig(mesh_rows=4, mesh_cols=4)
+    torus = TorusGeometry(4, 4)
+    placement = map_block(matrix, lower, 16)
+    program = build_sptrsv_program(
+        lower, placement.l_tile, placement.vec_tile, torus
+    )
+    b = np.ones(lower.n_rows)
+    return program, torus, config, b
+
+
+@pytest.mark.sim_engine
+def test_spmv_sim(benchmark, matrix, spmv_sim_setup):
+    """Batched engine on the 300-node FEM SpMV (the hot path)."""
+    program, torus, config, x = spmv_sim_setup
+    result = benchmark.pedantic(
+        lambda: KernelSimulator(
+            program, torus, config, AZUL_PE, engine="batched"
+        ).run(x=x),
+        rounds=5, iterations=1,
+    )
+    assert np.allclose(result.output, matrix.spmv(x))
+
+
+@pytest.mark.sim_engine
+def test_spmv_sim_reference(benchmark, matrix, spmv_sim_setup):
+    """Per-op reference engine on the same program (speedup baseline)."""
+    program, torus, config, x = spmv_sim_setup
+    reference = benchmark.pedantic(
+        lambda: KernelSimulator(
+            program, torus, config, AZUL_PE, engine="reference"
+        ).run(x=x),
+        rounds=5, iterations=1,
+    )
+    batched = KernelSimulator(
+        program, torus, config, AZUL_PE, engine="batched"
+    ).run(x=x)
+    assert batched.cycles == reference.cycles
+    assert np.array_equal(batched.output, reference.output)
+
+
+@pytest.mark.sim_engine
+def test_sptrsv_sim(benchmark, sptrsv_sim_setup):
+    """Batched engine on the dependence-limited forward SpTRSV."""
+    program, torus, config, b = sptrsv_sim_setup
+    result = benchmark.pedantic(
+        lambda: KernelSimulator(
+            program, torus, config, AZUL_PE, engine="batched"
+        ).run(b=b),
+        rounds=5, iterations=1,
+    )
+    assert np.all(np.isfinite(result.output))
+
+
+@pytest.mark.sim_engine
+def test_sptrsv_sim_reference(benchmark, sptrsv_sim_setup):
+    """Per-op reference engine on the same SpTRSV program."""
+    program, torus, config, b = sptrsv_sim_setup
+    reference = benchmark.pedantic(
+        lambda: KernelSimulator(
+            program, torus, config, AZUL_PE, engine="reference"
+        ).run(b=b),
+        rounds=5, iterations=1,
+    )
+    batched = KernelSimulator(
+        program, torus, config, AZUL_PE, engine="batched"
+    ).run(b=b)
+    assert batched.cycles == reference.cycles
+    assert np.array_equal(batched.output, reference.output)

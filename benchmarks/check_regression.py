@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Gate a ``BENCH_sim.json`` run against the committed baseline.
+
+Two checks, both over the pytest-benchmark JSON emitted by
+``benchmarks/emit_bench_sim.py``:
+
+1. **Per-benchmark regression** — each benchmark's mean must not be
+   more than ``--threshold`` (default 25%) slower than the same
+   benchmark in the baseline file.  Absolute timings are machine
+   dependent, so CI keeps the baseline refreshed from the same runner
+   class (see ``benchmarks/baselines/``).
+2. **Engine speedup floor** — the batched engine must stay at least
+   ``--min-speedup`` (default 1.5x; the acceptance bar on the 300-node
+   FEM SpMV is 3x on an unloaded machine, while the dependence-limited
+   SpTRSV sits near 2x) faster than the per-op reference engine.  This
+   ratio is machine *independent*, so it holds even when the absolute
+   baseline is stale.
+
+Exit status is non-zero on any violation.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_sim.json \
+        --baseline benchmarks/baselines/BENCH_sim.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from emit_bench_sim import SPEEDUP_PAIRS, load_times  # noqa: E402
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" \
+    / "BENCH_sim.json"
+
+
+def check(current_path: Path, baseline_path: Path, threshold: float,
+          min_speedup: float) -> int:
+    current = load_times(current_path)
+    failures = 0
+
+    if baseline_path.exists():
+        baseline = load_times(baseline_path)
+        for name in sorted(current):
+            if name not in baseline or baseline[name] <= 0:
+                print(f"  new benchmark (no baseline): {name}")
+                continue
+            ratio = current[name] / baseline[name]
+            status = "ok"
+            if ratio > 1.0 + threshold:
+                status = "REGRESSION"
+                failures += 1
+            print(f"  {name}: {current[name] * 1e3:.2f} ms vs baseline "
+                  f"{baseline[name] * 1e3:.2f} ms ({ratio:.2f}x) [{status}]")
+    else:
+        print(f"  baseline {baseline_path} missing — skipping absolute "
+              "regression check")
+
+    for fast, slow in SPEEDUP_PAIRS:
+        if fast not in current or slow not in current:
+            continue
+        speedup = current[slow] / current[fast]
+        status = "ok"
+        if speedup < min_speedup:
+            status = f"BELOW FLOOR ({min_speedup:.1f}x)"
+            failures += 1
+        kernel = fast.replace("test_", "").replace("_sim", "")
+        print(f"  {kernel} batched speedup: {speedup:.2f}x [{status}]")
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("current", help="freshly emitted BENCH_sim.json")
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="committed baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="max allowed slowdown vs baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.5,
+        help="batched-engine speedup floor vs the reference engine "
+             "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"checking {args.current} against {args.baseline} "
+          f"(threshold {args.threshold:.0%}, "
+          f"speedup floor {args.min_speedup:.1f}x)")
+    failures = check(
+        Path(args.current), Path(args.baseline),
+        args.threshold, args.min_speedup,
+    )
+    print(f"failures: {failures}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

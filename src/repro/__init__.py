@@ -86,6 +86,7 @@ from repro.sim import (
 )
 from repro.models import AlreschaModel, GPUModel, area_report, power_report
 from repro.cache import ArtifactCache, CacheStats
+from repro.parallel import SimPoint, default_jobs
 
 # Imported last: the experiment pipeline builds on everything above.
 from repro.experiments.common import ExperimentSession
@@ -141,6 +142,8 @@ __all__ = [
     "power_report",
     "ArtifactCache",
     "CacheStats",
+    "SimPoint",
+    "default_jobs",
     "ExperimentSession",
     "__version__",
 ]

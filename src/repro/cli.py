@@ -193,8 +193,24 @@ def cmd_simulate(args):
 def cmd_experiment(args):
     from repro.experiments import run_experiment
 
-    print(run_experiment(args.id))
+    print(run_experiment(args.id, jobs=getattr(args, "jobs", None)))
     return 0
+
+
+def cmd_run(args):
+    """``repro run [ids...] --jobs N``: the experiment runner."""
+    from repro.experiments import runner
+
+    argv = list(args.ids)
+    if args.list:
+        argv.append("--list")
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.csv_dir:
+        argv += ["--csv-dir", args.csv_dir]
+    if args.cache_stats:
+        argv.append("--cache-stats")
+    return runner.main(argv)
 
 
 def cmd_cache(args):
@@ -278,7 +294,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("id", help="experiment id (e.g. fig20)")
+    p_exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for sweep-parallel "
+                            "experiments")
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_run = sub.add_parser(
+        "run", help="run experiments via the runner (sweeps honor --jobs)",
+    )
+    p_run.add_argument("ids", nargs="*",
+                       help="experiment ids (default: all)")
+    p_run.add_argument("--list", action="store_true",
+                       help="list experiment ids and exit")
+    p_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for sweep-parallel "
+                            "experiments (REPRO_JOBS also honored)")
+    p_run.add_argument("--csv-dir", default=None, metavar="DIR",
+                       help="also write each result as DIR/<id>.csv")
+    p_run.add_argument("--cache-stats", action="store_true",
+                       help="print artifact-cache statistics after the "
+                            "runs")
+    p_run.set_defaults(func=cmd_run)
 
     p_cache = sub.add_parser("cache", help="inspect/maintain the "
                                            "artifact cache")

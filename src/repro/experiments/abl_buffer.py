@@ -11,30 +11,29 @@ from __future__ import annotations
 
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult
-from repro.sim import AzulMachine
 
 
 def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
-        buffer_sizes=(2, 4, 16, 64, 256)) -> ExperimentResult:
+        buffer_sizes=(2, 4, 16, 64, 256), jobs: int = 1) -> ExperimentResult:
     """Sweep the per-tile message-buffer capacity on one matrix."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    prepared = session.prepare(matrix)
-    placement = session.placement(matrix, "azul")
     result = ExperimentResult(
         experiment="abl_buffer",
         title=f"Message-buffer size sweep on {matrix}",
         columns=["buffer_entries", "spills", "cycles", "slowdown"],
     )
+    sizes = list(reversed(sorted(buffer_sizes)))
+    points = [
+        SimPoint(matrix, config=config.with_(msg_buffer_entries=entries),
+                 check=False)
+        for entries in sizes
+    ]
+    sims = session.simulate_many(points, jobs=jobs)
     baseline = None
-    for entries in reversed(sorted(buffer_sizes)):
-        swept = config.with_(msg_buffer_entries=entries)
-        machine = AzulMachine(swept)
-        timing = machine.simulate_pcg(
-            prepared.matrix, prepared.lower, placement, prepared.b,
-            check=False,
-        )
+    for entries, timing in zip(sizes, sims):
         spills = sum(k.spills for k in timing.kernel_results)
         if baseline is None:
             baseline = timing.total_cycles

@@ -16,7 +16,6 @@ from repro.core import analyze_traffic, build_pcg_hypergraph, map_azul
 from repro.experiments.common import ExperimentSession
 from repro.hypergraph import PartitionerOptions, connectivity_cut
 from repro.perf import ExperimentResult
-from repro.sim import AzulMachine
 
 import numpy as np
 
@@ -29,13 +28,12 @@ PRESETS = (
 
 
 def run(matrix: str = "consph", config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """Sweep partitioner presets on one matrix."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
     prepared = session.prepare(matrix)
-    machine = AzulMachine(config)
     hypergraph = build_pcg_hypergraph(prepared.matrix, prepared.lower)
     result = ExperimentResult(
         experiment="abl_partitioner",
@@ -45,22 +43,25 @@ def run(matrix: str = "consph", config: AzulConfig = None,
             "link_activations", "gflops",
         ],
     )
+    placements = []
+    mapping_times = []
     for label, make_options in PRESETS:
         start = time.perf_counter()
-        placement = map_azul(
+        placements.append(map_azul(
             prepared.matrix, prepared.lower, config.num_tiles,
             options=make_options(seed=0),
-        )
-        mapping_seconds = time.perf_counter() - start
+        ))
+        mapping_times.append(time.perf_counter() - start)
+    timings = session.simulate_placements(
+        matrix, placements, check=False, jobs=jobs,
+    )
+    for (label, _), placement, mapping_seconds, timing in zip(
+            PRESETS, placements, mapping_times, timings):
         assignment = np.concatenate([
             placement.a_tile, placement.l_tile, placement.vec_tile,
         ])
         traffic = analyze_traffic(
             placement, prepared.matrix, prepared.lower, torus
-        )
-        timing = machine.simulate_pcg(
-            prepared.matrix, prepared.lower, placement, prepared.b,
-            check=False,
         )
         result.add_row(
             preset=label,

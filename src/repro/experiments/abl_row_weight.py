@@ -14,17 +14,15 @@ from repro.config import AzulConfig
 from repro.core import analyze_traffic, map_azul
 from repro.experiments.common import ExperimentSession, mapper_options
 from repro.perf import ExperimentResult
-from repro.sim import AzulMachine
 
 
 def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
-        weights=(1.0, 2.0, 4.0)) -> ExperimentResult:
+        weights=(1.0, 2.0, 4.0), jobs: int = 1) -> ExperimentResult:
     """Sweep the row-edge weight on one matrix."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
     prepared = session.prepare(matrix)
-    machine = AzulMachine(config)
     result = ExperimentResult(
         experiment="abl_row_weight",
         title=f"Row-edge weight ablation on {matrix}",
@@ -33,17 +31,19 @@ def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
             "link_activations", "cycles",
         ],
     )
-    for weight in weights:
-        placement = map_azul(
+    placements = [
+        map_azul(
             prepared.matrix, prepared.lower, config.num_tiles,
             row_weight=weight, options=mapper_options("speed"),
         )
+        for weight in weights
+    ]
+    timings = session.simulate_placements(
+        matrix, placements, check=False, jobs=jobs,
+    )
+    for weight, placement, timing in zip(weights, placements, timings):
         traffic = analyze_traffic(
             placement, prepared.matrix, prepared.lower, torus
-        )
-        timing = machine.simulate_pcg(
-            prepared.matrix, prepared.lower, placement, prepared.b,
-            check=False,
         )
         result.add_row(
             row_weight=weight,

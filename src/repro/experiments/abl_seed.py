@@ -17,37 +17,37 @@ from repro.core import analyze_traffic, build_pcg_hypergraph, map_azul
 from repro.experiments.common import ExperimentSession
 from repro.hypergraph import PartitionerOptions, connectivity_cut
 from repro.perf import ExperimentResult
-from repro.sim import AzulMachine
 
 
 def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
-        seeds=(0, 1, 2)) -> ExperimentResult:
+        seeds=(0, 1, 2), jobs: int = 1) -> ExperimentResult:
     """Map one matrix with several partitioner seeds."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
     torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
     prepared = session.prepare(matrix)
-    machine = AzulMachine(config)
     hypergraph = build_pcg_hypergraph(prepared.matrix, prepared.lower)
     result = ExperimentResult(
         experiment="abl_seed",
         title=f"Mapping stability across seeds on {matrix}",
         columns=["seed", "connectivity_cut", "link_activations", "cycles"],
     )
-    for seed in seeds:
-        placement = map_azul(
+    placements = [
+        map_azul(
             prepared.matrix, prepared.lower, config.num_tiles,
             options=PartitionerOptions.speed(seed=seed),
         )
+        for seed in seeds
+    ]
+    timings = session.simulate_placements(
+        matrix, placements, check=False, jobs=jobs,
+    )
+    for seed, placement, timing in zip(seeds, placements, timings):
         assignment = np.concatenate([
             placement.a_tile, placement.l_tile, placement.vec_tile,
         ])
         traffic = analyze_traffic(
             placement, prepared.matrix, prepared.lower, torus
-        )
-        timing = machine.simulate_pcg(
-            prepared.matrix, prepared.lower, placement, prepared.b,
-            check=False,
         )
         result.add_row(
             seed=seed,

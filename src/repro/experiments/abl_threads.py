@@ -10,12 +10,13 @@ from __future__ import annotations
 
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
-from repro.sim import AzulMachine, PEModel
+from repro.sim import PEModel
 
 
 def run(matrices=None, config: AzulConfig = None, scale: int = 1,
-        context_counts=(1, 2, 4, 8, 16)) -> ExperimentResult:
+        context_counts=(1, 2, 4, 8, 16), jobs: int = 1) -> ExperimentResult:
     """Sweep thread contexts; gmean GFLOP/s over the matrix set."""
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
@@ -25,24 +26,23 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
         title="PE thread-context sweep: gmean PCG GFLOP/s",
         columns=["contexts", "gmean_gflops", "vs_single"],
     )
-    baseline = None
-    for contexts in context_counts:
-        pe = PEModel(
+    models = [
+        PEModel(
             name=f"azul_{contexts}t",
             issue_cycles=1,
             multithreaded=contexts > 1,
             thread_contexts=contexts,
         )
-        machine = AzulMachine(config, pe)
-        values = []
-        for name in matrices:
-            prepared = session.prepare(name)
-            placement = session.placement(name, "azul")
-            timing = machine.simulate_pcg(
-                prepared.matrix, prepared.lower, placement, prepared.b,
-                check=False,
-            )
-            values.append(timing.gflops())
+        for contexts in context_counts
+    ]
+    points = [
+        SimPoint(name, pe=pe, check=False)
+        for pe in models for name in matrices
+    ]
+    sims = iter(session.simulate_many(points, jobs=jobs))
+    baseline = None
+    for contexts in context_counts:
+        values = [next(sims).gflops() for _ in matrices]
         value = gmean(values)
         if baseline is None:
             baseline = value

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
-from repro.sim import AzulMachine
+
+
+TOPOLOGIES = ("torus", "mesh")
 
 
 def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """Same placement, torus vs mesh timing."""
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
@@ -28,16 +31,14 @@ def run(matrices=None, config: AzulConfig = None,
             "torus_links", "mesh_links",
         ],
     )
+    points = [
+        SimPoint(name, config=config.with_(topology=topology),
+                 check=(topology == "mesh"))
+        for name in matrices for topology in TOPOLOGIES
+    ]
+    sims = iter(session.simulate_many(points, jobs=jobs))
     for name in matrices:
-        prepared = session.prepare(name)
-        placement = session.placement(name, "azul")
-        runs = {}
-        for topology in ("torus", "mesh"):
-            machine = AzulMachine(config.with_(topology=topology))
-            runs[topology] = machine.simulate_pcg(
-                prepared.matrix, prepared.lower, placement, prepared.b,
-                check=(topology == "mesh"),
-            )
+        runs = {topology: next(sims) for topology in TOPOLOGIES}
         result.add_row(
             matrix=name,
             torus_cycles=runs["torus"].total_cycles,

@@ -13,16 +13,14 @@ from __future__ import annotations
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
 from repro.perf import ExperimentResult, gmean
-from repro.sim import AzulMachine
 
 
 def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """Compare tree and unicast distribution on the mapped machine."""
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    machine = AzulMachine(config)
     result = ExperimentResult(
         experiment="abl_trees",
         title="Multicast trees vs point-to-point messages",
@@ -31,17 +29,21 @@ def run(matrices=None, config: AzulConfig = None,
             "tree_links", "unicast_links", "traffic_saving",
         ],
     )
+    points = []
     for name in matrices:
-        prepared = session.prepare(name)
         placement = session.placement(name, "azul")
-        tree_run = machine.simulate_pcg(
-            prepared.matrix, prepared.lower, placement, prepared.b,
-            check=False, multicast="tree",
-        )
-        unicast_run = machine.simulate_pcg(
-            prepared.matrix, prepared.lower, placement, prepared.b,
-            check=True, multicast="unicast",
-        )
+        points.append({
+            "name": name, "placement": placement,
+            "multicast": "tree", "check": False,
+        })
+        points.append({
+            "name": name, "placement": placement,
+            "multicast": "unicast", "check": True,
+        })
+    sims = iter(session.simulate_placements(placements=points, jobs=jobs))
+    for name in matrices:
+        tree_run = next(sims)
+        unicast_run = next(sims)
         result.add_row(
             matrix=name,
             tree_cycles=tree_run.total_cycles,

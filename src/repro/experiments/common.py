@@ -45,7 +45,7 @@ from repro.core import MAPPERS, Placement, get_mapper
 from repro.graph import color_and_permute
 from repro.hypergraph import PartitionerOptions
 from repro.precond import ic0
-from repro.sim import AzulMachine, pe_model_by_name, pe_model_names
+from repro.sim import AzulMachine, PEModel, pe_model_by_name, pe_model_names
 from repro.sparse.suite import REPRESENTATIVE, get_suite_matrix, suite_names
 
 #: Cache namespaces (subdirectories of the cache root).
@@ -56,8 +56,12 @@ SIMULATION_NAMESPACE = "simulations"
 #: keyed the in-memory simulation cache on the raw ``AzulConfig``
 #: object and hashed keys with an unversioned layout; ``v2`` keys both
 #: tiers on :meth:`AzulConfig.cache_key` so stale entries cannot alias.
+#: Simulation ``v3`` admits parametric :class:`~repro.sim.PEModel`
+#: instances (keyed on their full parameter tuple, so a custom model
+#: can never alias a registered name) for the ablation sweeps served
+#: by :meth:`ExperimentSession.simulate_many`.
 PLACEMENT_SCHEMA = "v2"
-SIMULATION_SCHEMA = "v2"
+SIMULATION_SCHEMA = "v3"
 
 #: Partitioner presets accepted by :func:`mapper_options`.
 PRESETS = ("speed", "quality", "default")
@@ -114,6 +118,16 @@ def _validate_choice(kind: str, name, choices) -> None:
         f"unknown {kind} {name!r}: valid choices are "
         f"{', '.join(repr(c) for c in choices)}{hint}"
     )
+
+
+def _pe_key_part(pe):
+    """Canonical cache-key component for a PE given by name or model."""
+    if isinstance(pe, PEModel):
+        return (
+            "pe", pe.name, int(pe.issue_cycles), bool(pe.multithreaded),
+            int(pe.thread_contexts),
+        )
+    return pe
 
 
 # ----------------------------------------------------------------------
@@ -260,7 +274,24 @@ class ExperimentSession:
         return placement
 
     # -- simulation ----------------------------------------------------
-    def simulate(self, name: str, mapper: str = "azul", pe: str = "azul",
+    def simulation_key(self, name: str, mapper: str = "azul",
+                       pe="azul", *, scale: int = None, preset: str = None,
+                       check: bool = True, config: AzulConfig = None) -> str:
+        """The artifact-cache key one :meth:`simulate` call resolves to.
+
+        Exposed so sweep executors (:mod:`repro.parallel`) can
+        short-circuit cache hits and deduplicate in-flight points
+        before spawning any worker.
+        """
+        scale = self.scale if scale is None else int(scale)
+        preset = self.preset if preset is None else preset
+        config = self.config if config is None else config
+        return self.cache.key(
+            "simulate", name, scale, mapper, _pe_key_part(pe), preset,
+            bool(check), config.cache_key(), SIMULATION_SCHEMA,
+        )
+
+    def simulate(self, name: str, mapper: str = "azul", pe="azul",
                  *, scale: int = None, preset: str = None,
                  check: bool = True, use_cache: bool = None):
         """Simulate one steady-state PCG iteration (cached).
@@ -268,18 +299,20 @@ class ExperimentSession:
         Results live in the in-memory tier (identity-preserving within
         a process) backed by a persistent on-disk tier keyed on
         :meth:`AzulConfig.cache_key`, so repeated sweeps across
-        processes skip re-simulation entirely.
+        processes skip re-simulation entirely.  ``pe`` accepts a
+        registered model name or a :class:`~repro.sim.PEModel`
+        instance (ablation sweeps construct synthetic PEs).
         """
         _validate_choice("mapper", mapper, MAPPERS)
-        _validate_choice("pe", pe, pe_model_names())
+        if not isinstance(pe, PEModel):
+            _validate_choice("pe", pe, pe_model_names())
         scale = self.scale if scale is None else int(scale)
         preset = self.preset if preset is None else preset
         _validate_choice("preset", preset, PRESETS)
         use_cache = self.use_cache if use_cache is None else bool(use_cache)
 
-        key = self.cache.key(
-            "simulate", name, scale, mapper, pe, preset, bool(check),
-            self.config.cache_key(), SIMULATION_SCHEMA,
+        key = self.simulation_key(
+            name, mapper, pe, scale=scale, preset=preset, check=check,
         )
         if use_cache:
             cached = self.cache.get(SIMULATION_NAMESPACE, key, PICKLE)
@@ -291,7 +324,8 @@ class ExperimentSession:
             name, mapper, self.config.num_tiles,
             scale=scale, preset=preset, use_cache=use_cache,
         )
-        machine = AzulMachine(self.config, pe_model_by_name(pe))
+        model = pe if isinstance(pe, PEModel) else pe_model_by_name(pe)
+        machine = AzulMachine(self.config, model)
         result = machine.simulate_pcg(
             prepared.matrix, prepared.lower, placement, prepared.b,
             check=check,
@@ -299,6 +333,44 @@ class ExperimentSession:
         if use_cache:
             self.cache.put(SIMULATION_NAMESPACE, key, result, PICKLE)
         return result
+
+    def simulate_many(self, points, jobs: int = None, *,
+                      use_cache: bool = None, stats: dict = None) -> list:
+        """Simulate many sweep points, fanned out across processes.
+
+        A drop-in replacement for a serial loop of :meth:`simulate`
+        calls: results come back in point order and are identical to a
+        ``jobs=1`` run.  Cache hits short-circuit before any worker is
+        spawned, duplicate points are computed once, and worker
+        failures degrade gracefully to in-process computation.  See
+        :func:`repro.parallel.simulate_many`.
+        """
+        from repro.parallel import simulate_many as _simulate_many
+
+        return _simulate_many(
+            self, points, jobs, use_cache=use_cache, stats=stats,
+        )
+
+    def simulate_placements(self, name: str = None, placements=(), *,
+                            pe="azul", check: bool = False,
+                            multicast: str = "tree", scale: int = None,
+                            jobs: int = None, use_cache: bool = None,
+                            stats: dict = None) -> list:
+        """Simulate explicit placements (usually one matrix).
+
+        Placement-content-keyed variant of :meth:`simulate_many` for
+        the ablations that sweep the mapper itself (seeds, partitioner
+        options, multicast modes).  Entries may be ``Placement``
+        objects or per-point override dicts.  See
+        :func:`repro.parallel.simulate_placements`.
+        """
+        from repro.parallel import simulate_placements as _simulate_placements
+
+        return _simulate_placements(
+            self, name, placements, pe=pe, check=check,
+            multicast=multicast, scale=scale, jobs=jobs,
+            use_cache=use_cache, stats=stats,
+        )
 
     # -- observability -------------------------------------------------
     def cache_stats(self):

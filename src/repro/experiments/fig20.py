@@ -12,11 +12,12 @@ from __future__ import annotations
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
 from repro.models import AlreschaModel, GPUModel
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
 
 
 def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """End-to-end comparison across the four architectures."""
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
@@ -31,7 +32,12 @@ def run(matrices=None, config: AzulConfig = None,
             "azul_speedup", "azul_gflops",
         ],
     )
+    points = []
     for name in matrices:
+        points.append(SimPoint(name, mapper="round_robin", pe="dalorex"))
+        points.append(SimPoint(name, mapper="azul", pe="azul"))
+    sims = session.simulate_many(points, jobs=jobs)
+    for index, name in enumerate(matrices):
         prepared = session.prepare(name)
         gpu_time = gpu.pcg_iteration_time(
             prepared.matrix, prepared.lower
@@ -39,9 +45,8 @@ def run(matrices=None, config: AzulConfig = None,
         alrescha_time = alrescha.pcg_iteration_time(
             prepared.matrix, prepared.lower
         )
-        dalorex_sim = session.simulate(name, mapper="round_robin",
-                                       pe="dalorex")
-        azul_sim = session.simulate(name, mapper="azul", pe="azul")
+        dalorex_sim = sims[2 * index]
+        azul_sim = sims[2 * index + 1]
         dalorex_time = dalorex_sim.total_cycles / config.frequency_hz
         azul_time = azul_sim.total_cycles / config.frequency_hz
         result.add_row(

@@ -15,7 +15,7 @@ from repro.sim import breakdown_from_results
 
 
 def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """Per-matrix PE cycle breakdown on simulated Azul."""
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
@@ -25,8 +25,8 @@ def run(matrices=None, config: AzulConfig = None,
         title="Azul PE cycle breakdown (fractions of issue slots)",
         columns=["matrix", "fmac", "add", "mul", "send", "stall"],
     )
-    for name in matrices:
-        sim = session.simulate(name, mapper="azul", pe="azul")
+    sims = session.simulate_many(list(matrices), jobs=jobs)
+    for name, sim in zip(matrices, sims):
         breakdown = breakdown_from_results(
             sim.kernel_results, config.num_tiles,
             extra_cycles=sim.vector_cycles,

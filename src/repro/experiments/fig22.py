@@ -13,7 +13,7 @@ from repro.perf import ExperimentResult
 
 
 def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """Per-kernel runtime fractions on simulated Azul."""
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
@@ -23,8 +23,8 @@ def run(matrices=None, config: AzulConfig = None,
         title="Azul PCG runtime breakdown by kernel (normalized)",
         columns=["matrix", "spmv", "sptrsv", "vector"],
     )
-    for name in matrices:
-        sim = session.simulate(name, mapper="azul", pe="azul")
+    sims = session.simulate_many(list(matrices), jobs=jobs)
+    for name, sim in zip(matrices, sims):
         phases = sim.cycles_by_phase()
         total = sim.total_cycles
         result.add_row(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
 
 
@@ -17,7 +18,7 @@ MAPPINGS = ("round_robin", "block", "sparsep", "azul")
 
 
 def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """Throughput of each mapping on the real-PE simulator."""
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
@@ -27,11 +28,15 @@ def run(matrices=None, config: AzulConfig = None,
         title="PCG GFLOP/s by data mapping (Azul PEs)",
         columns=["matrix"] + list(MAPPINGS),
     )
+    points = [
+        SimPoint(name, mapper=mapping, pe="azul")
+        for name in matrices for mapping in MAPPINGS
+    ]
+    sims = iter(session.simulate_many(points, jobs=jobs))
     for name in matrices:
         row = {"matrix": name}
         for mapping in MAPPINGS:
-            sim = session.simulate(name, mapper=mapping, pe="azul")
-            row[mapping] = sim.gflops()
+            row[mapping] = next(sims).gflops()
         result.add_row(**row)
     summary = []
     for mapping in MAPPINGS[:-1]:

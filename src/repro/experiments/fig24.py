@@ -15,7 +15,7 @@ from repro.perf import ExperimentResult
 
 
 def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """Estimate power for each matrix from simulated activity."""
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
@@ -25,8 +25,8 @@ def run(matrices=None, config: AzulConfig = None,
         title="Azul power by component (watts)",
         columns=["matrix", "sram", "compute", "noc", "leakage", "total"],
     )
-    for name in matrices:
-        sim = session.simulate(name, mapper="azul", pe="azul")
+    sims = session.simulate_many(list(matrices), jobs=jobs)
+    for name, sim in zip(matrices, sims):
         report = power_report(sim, config)
         result.add_row(matrix=name, **report.as_dict())
     result.notes = (

@@ -10,11 +10,12 @@ from __future__ import annotations
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, \
     default_experiment_config, default_matrices
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
 
 
 def run(matrices=None, config: AzulConfig = None, scale: int = 1,
-        latencies=(1, 2, 3, 4)) -> ExperimentResult:
+        latencies=(1, 2, 3, 4), jobs: int = 1) -> ExperimentResult:
     """Sweep hop latency and report gmean GFLOP/s."""
     matrices = matrices or default_matrices()
     config = config or default_experiment_config()
@@ -23,14 +24,15 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
         title="Hop-latency sweep: gmean PCG GFLOP/s",
         columns=["hop_cycles", "gmean_gflops", "relative"],
     )
+    session = ExperimentSession(config, scale=scale)
+    points = [
+        SimPoint(name, config=config.with_(hop_cycles=hop))
+        for hop in latencies for name in matrices
+    ]
+    sims = iter(session.simulate_many(points, jobs=jobs))
     baseline = None
     for hop in latencies:
-        swept = config.with_(hop_cycles=hop)
-        swept_session = ExperimentSession(swept, scale=scale)
-        values = [
-            swept_session.simulate(name, mapper="azul", pe="azul").gflops()
-            for name in matrices
-        ]
+        values = [next(sims).gflops() for _ in matrices]
         value = gmean(values)
         if baseline is None:
             baseline = value

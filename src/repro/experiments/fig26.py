@@ -9,11 +9,12 @@ from __future__ import annotations
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, \
     default_experiment_config, default_matrices
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
 
 
 def run(matrices=None, config: AzulConfig = None, scale: int = 1,
-        latencies=(1, 2, 3, 4)) -> ExperimentResult:
+        latencies=(1, 2, 3, 4), jobs: int = 1) -> ExperimentResult:
     """Sweep SRAM latency and report gmean GFLOP/s."""
     matrices = matrices or default_matrices()
     config = config or default_experiment_config()
@@ -22,14 +23,15 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
         title="SRAM-latency sweep: gmean PCG GFLOP/s",
         columns=["sram_cycles", "gmean_gflops", "relative"],
     )
+    session = ExperimentSession(config, scale=scale)
+    points = [
+        SimPoint(name, config=config.with_(sram_access_cycles=latency))
+        for latency in latencies for name in matrices
+    ]
+    sims = iter(session.simulate_many(points, jobs=jobs))
     baseline = None
     for latency in latencies:
-        swept = config.with_(sram_access_cycles=latency)
-        swept_session = ExperimentSession(swept, scale=scale)
-        values = [
-            swept_session.simulate(name, mapper="azul", pe="azul").gflops()
-            for name in matrices
-        ]
+        values = [next(sims).gflops() for _ in matrices]
         value = gmean(values)
         if baseline is None:
             baseline = value

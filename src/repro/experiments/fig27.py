@@ -8,11 +8,12 @@ from __future__ import annotations
 
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
 
 
 def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """Compare multithreaded and single-threaded PE configurations."""
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
@@ -22,12 +23,14 @@ def run(matrices=None, config: AzulConfig = None,
         title="Multithreading ablation: gmean PCG GFLOP/s",
         columns=["pe", "gmean_gflops"],
     )
+    pes = ("azul", "azul_single")
+    points = [
+        SimPoint(name, pe=pe) for pe in pes for name in matrices
+    ]
+    sims = iter(session.simulate_many(points, jobs=jobs))
     values = {}
-    for pe in ("azul", "azul_single"):
-        values[pe] = gmean([
-            session.simulate(name, mapper="azul", pe=pe).gflops()
-            for name in matrices
-        ])
+    for pe in pes:
+        values[pe] = gmean([next(sims).gflops() for _ in matrices])
         result.add_row(pe="multi" if pe == "azul" else "single",
                        gmean_gflops=values[pe])
     result.extras = {

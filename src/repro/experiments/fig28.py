@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, \
     default_experiment_config
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult
 
 #: (matrix, matrix-scale) pairs per machine; mirrors the paper's mix of
@@ -25,7 +26,8 @@ DEFAULT_CASES = (
 )
 
 
-def run(cases=DEFAULT_CASES, config: AzulConfig = None) -> ExperimentResult:
+def run(cases=DEFAULT_CASES, config: AzulConfig = None,
+        jobs: int = 1) -> ExperimentResult:
     """Throughput across machine sizes (grid side doubling)."""
     config = config or default_experiment_config()
     machines = [
@@ -38,14 +40,18 @@ def run(cases=DEFAULT_CASES, config: AzulConfig = None) -> ExperimentResult:
         columns=["matrix"] + [label for label, _ in machines]
         + ["scaling_4x"],
     )
+    session = ExperimentSession(config)
+    points = [
+        SimPoint(name, scale=scale, config=machine_config)
+        for name, scale in cases
+        for _, machine_config in machines
+    ]
+    sims = iter(session.simulate_many(points, jobs=jobs))
     for name, scale in cases:
         row = {"matrix": name}
         values = []
-        for label, machine_config in machines:
-            sim = ExperimentSession(machine_config).simulate(
-                name, mapper="azul", pe="azul", scale=scale,
-            )
-            row[label] = sim.gflops()
+        for label, _ in machines:
+            row[label] = next(sims).gflops()
             values.append(row[label])
         row["scaling_4x"] = values[-1] / values[0]
         result.add_row(**row)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import os
 import sys
 import time
@@ -55,14 +56,23 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(experiment_id: str, **kwargs):
-    """Run one experiment by id; returns its ExperimentResult."""
+def run_experiment(experiment_id: str, jobs: int = None, **kwargs):
+    """Run one experiment by id; returns its ExperimentResult.
+
+    ``jobs`` is forwarded to experiments whose ``run()`` accepts a
+    ``jobs`` parameter (the sweep-heavy ones fan their points out over
+    :func:`repro.parallel.simulate_many`); others run serially.
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"choices: {', '.join(EXPERIMENTS)}"
         )
     module = importlib.import_module(EXPERIMENTS[experiment_id])
+    if jobs is not None and "jobs" not in kwargs:
+        parameters = inspect.signature(module.run).parameters
+        if "jobs" in parameters:
+            kwargs["jobs"] = jobs
     return module.run(**kwargs)
 
 
@@ -85,6 +95,11 @@ def main(argv=None):
         "--cache-stats", action="store_true",
         help="print artifact-cache statistics after the runs",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep-parallel experiments "
+             "(default: serial; REPRO_JOBS also honored)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for experiment_id in EXPERIMENTS:
@@ -95,7 +110,7 @@ def main(argv=None):
         os.makedirs(args.csv_dir, exist_ok=True)
     for experiment_id in ids:
         start = time.perf_counter()
-        result = run_experiment(experiment_id)
+        result = run_experiment(experiment_id, jobs=args.jobs)
         elapsed = time.perf_counter() - start
         print(result.render())
         print(f"[{experiment_id} completed in {elapsed:.1f}s]")

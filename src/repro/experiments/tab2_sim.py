@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult
 from repro.sim import AzulMachine
 from repro.sim.solver_timing import RECIPES, solver_iteration_cycles
 
 
 def run(matrix: str = "consph", config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+        scale: int = 1, jobs: int = 1) -> ExperimentResult:
     """Per-solver iteration cycles and GFLOP/s on one mapped matrix."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
@@ -24,7 +25,12 @@ def run(matrix: str = "consph", config: AzulConfig = None,
     placement = session.placement(matrix, "azul")
     machine = AzulMachine(config)
     program = machine.compile(prepared.matrix, prepared.lower, placement)
-    base = machine.simulate_iteration(program, p=prepared.b, r=prepared.b)
+    # The base PCG iteration is a standard sweep point: route it through
+    # the session so it shares the artifact cache (and the --jobs pool
+    # when this experiment is batched with others).
+    base = session.simulate_many(
+        [SimPoint(matrix, check=False)], jobs=jobs,
+    )[0]
 
     result = ExperimentResult(
         experiment="tab2_sim",

@@ -45,6 +45,11 @@ class Hypergraph:
             np.concatenate(pin_lists) if pin_lists
             else np.empty(0, dtype=np.int64)
         )
+        self._set_weights(edge_weights, vertex_weights)
+        self._vertex_edge_ptr = None
+        self._vertex_edge_ids = None
+
+    def _set_weights(self, edge_weights, vertex_weights):
         if edge_weights is None:
             self.edge_weights = np.ones(self.n_edges, dtype=np.float64)
         else:
@@ -60,8 +65,29 @@ class Hypergraph:
             if vw.shape[0] != self.n_vertices:
                 raise PartitionError("vertex_weights length mismatch")
             self.vertex_weights = vw
+
+    @classmethod
+    def from_flat(cls, n_vertices, pins, edge_ptr, edge_weights=None,
+                  vertex_weights=None) -> "Hypergraph":
+        """Construct from already-normalized flat pin/offset arrays.
+
+        The caller guarantees each edge's pins are sorted, unique, and
+        in range, so the per-edge normalization of ``__init__`` (one
+        ``np.unique`` per edge — the dominant cost when sub-hypergraphs
+        are induced during recursive bisection) is skipped entirely.
+        """
+        self = object.__new__(cls)
+        self.n_vertices = int(n_vertices)
+        self.pins = np.ascontiguousarray(pins, dtype=np.int64)
+        self.edge_ptr = np.ascontiguousarray(edge_ptr, dtype=np.int64)
+        if len(self.edge_ptr) == 0 or self.edge_ptr[0] != 0 \
+                or self.edge_ptr[-1] != len(self.pins):
+            raise PartitionError("edge_ptr does not span the pin array")
+        self.n_edges = len(self.edge_ptr) - 1
+        self._set_weights(edge_weights, vertex_weights)
         self._vertex_edge_ptr = None
         self._vertex_edge_ids = None
+        return self
 
     # ------------------------------------------------------------------
     @property

@@ -104,21 +104,35 @@ def _induced(hgraph: Hypergraph, mask: np.ndarray):
 
     Edges are restricted to surviving pins; edges left with fewer than
     two pins are dropped (they cannot be cut again).
+
+    Works entirely on the flat pin/offset arrays: one vectorized pass
+    renumbers pins, a prefix sum counts survivors per edge, and the
+    kept pins are gathered in order — no per-edge Python loop.  Each
+    edge's pins stay sorted and unique (the old -> new id map is
+    strictly increasing on kept vertices), so the sub-hypergraph is
+    built with :meth:`Hypergraph.from_flat`.
     """
     new_ids = np.full(hgraph.n_vertices, -1, dtype=np.int64)
     kept = np.nonzero(mask)[0]
     new_ids[kept] = np.arange(len(kept))
-    edges = []
-    weights = []
-    for e in range(hgraph.n_edges):
-        pins = hgraph.edge_pins(e)
-        local = new_ids[pins]
-        local = local[local >= 0]
-        if len(local) >= 2:
-            edges.append(local)
-            weights.append(hgraph.edge_weights[e])
-    sub = Hypergraph(
-        len(kept), edges, np.array(weights), hgraph.vertex_weights[kept]
+
+    local_pins = new_ids[hgraph.pins]
+    keep_pin = local_pins >= 0
+    # Surviving-pin count per edge via prefix sums (robust to empty
+    # edges, unlike reduceat).
+    csum = np.concatenate(([0], np.cumsum(keep_pin)))
+    counts = csum[hgraph.edge_ptr[1:]] - csum[hgraph.edge_ptr[:-1]]
+    keep_edge = counts >= 2
+
+    pin_edge = np.repeat(np.arange(hgraph.n_edges), hgraph.edge_sizes())
+    select = keep_pin & keep_edge[pin_edge]
+    sub_sizes = counts[keep_edge]
+    sub = Hypergraph.from_flat(
+        len(kept),
+        local_pins[select],
+        np.concatenate(([0], np.cumsum(sub_sizes))),
+        hgraph.edge_weights[keep_edge],
+        hgraph.vertex_weights[kept],
     )
     return sub, new_ids
 

@@ -27,7 +27,13 @@ from repro.sim.pe import (
     pe_model_by_name,
     pe_model_names,
 )
-from repro.sim.engine import KernelSimulator, KernelResult
+from repro.sim.engine import (
+    BatchedKernelSimulator,
+    KernelResult,
+    KernelSimulator,
+    REFERENCE_ENV,
+    ReferenceKernelSimulator,
+)
 from repro.sim.machine import AzulMachine, IterationResult
 from repro.sim.full_solve import FullSolveResult, simulate_full_pcg
 from repro.sim.solver_timing import (
@@ -48,6 +54,9 @@ __all__ = [
     "pe_model_names",
     "KernelSimulator",
     "KernelResult",
+    "BatchedKernelSimulator",
+    "ReferenceKernelSimulator",
+    "REFERENCE_ENV",
     "AzulMachine",
     "IterationResult",
     "FullSolveResult",

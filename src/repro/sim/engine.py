@@ -7,12 +7,37 @@ Sec. V-A), messages traverse torus links at one flit per link per cycle,
 multicasts fork in routers, and reductions merge with standalone Adds at
 junction tiles.  The computed output vector is bit-comparable to the
 reference kernels, which is how functional correctness is verified.
+
+Two interchangeable engines implement the model:
+
+* :class:`ReferenceKernelSimulator` — the original operation-granularity
+  engine: every FMAC/ADD/MUL/SEND is one heap event round-trip.  Slow,
+  but each step maps 1:1 onto the hardware description; kept as the
+  golden model.
+* :class:`BatchedKernelSimulator` — the run-granularity engine (the
+  default): a ``_T_SAAC`` column-segment run is issued as one batched
+  step whose per-op issue times (issue bandwidth, RAW accumulator
+  hazards, multithreaded window competition) are computed analytically
+  — with numpy for long runs — and whose numeric contribution is a
+  vectorized ``partial[rows] += xval * vals`` accumulation.  Batches
+  are bounded by an exactness *horizon*: an operation joins the batch
+  only while no pending heap event, no competing window task, and no
+  triggered side effect could have changed the reference engine's
+  choice.  Cycles, outputs, op counts, link statistics, and spills are
+  therefore bit-identical to the reference engine (enforced by
+  ``tests/test_engine_equivalence.py``).
+
+``KernelSimulator(...)`` transparently constructs the batched engine;
+set ``AZUL_SIM_REFERENCE=1`` (or pass ``engine="reference"``) to fall
+back to the per-op golden model.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,9 +59,32 @@ _T_ADD = 1    # merge one incoming reduction partial
 _T_MUL = 2    # solve x_i = (b_i - acc) * (1/d_i)
 _T_SEND = 3   # push one value into the router
 
+# Task layout: [arrival_time, kind, payload..., hazard_row].  Index 6
+# always holds the row whose accumulator gates the task's *current*
+# operation (a dummy row ``n`` with permanently-zero ready time for
+# Sends), so the batched engine's selection scan reads one uniform
+# ``acc[task[6]]`` with no per-kind branching.  The reference engine
+# ignores the slot.
+_TASK_HAZARD = 6
+
+#: Sentinel "never" time (must exceed any reachable cycle count).
+_BIG = 1 << 62
+
+#: Remaining-run length at which the batched engine switches from the
+#: scalar recurrence to the numpy closed form.
+_VEC_THRESHOLD = 12
+
+#: Environment variable selecting the per-op golden engine.
+REFERENCE_ENV = "AZUL_SIM_REFERENCE"
+
+
+def _env_wants_reference() -> bool:
+    value = os.environ.get(REFERENCE_ENV, "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
 
 class _Tile:
-    """Mutable per-tile simulation state."""
+    """Mutable per-tile simulation state (reference engine)."""
 
     __slots__ = (
         "tasks", "pe_time", "acc_ready", "busy", "op_counts",
@@ -50,6 +98,29 @@ class _Tile:
         self.busy = 0
         self.op_counts = [0, 0, 0, 0]  # FMAC, ADD, MUL, SEND
         self.next_pump = None
+
+
+class _BatchedTile(_Tile):
+    """Tile state with dense per-row accumulators (batched engine).
+
+    ``acc_ready``/``partial`` are dense per-row Python lists — scalar
+    reads/writes in the issue loop cost a plain list index instead of a
+    numpy scalar round-trip, which dominates the hot path at the small
+    run lengths real mapped matrices produce.  ``local_rem`` mirrors
+    ``program.local_counts`` for this tile (``None`` when the tile
+    holds no matrix nonzeros).
+    """
+
+    __slots__ = ("partial", "local_rem")
+
+    def __init__(self, n: int, local_rem):
+        super().__init__()
+        # One extra slot: row ``n`` is the *dummy hazard row* named by
+        # Send tasks' ``_TASK_HAZARD`` field.  It is never written, so
+        # ``acc_ready[task[6]]`` is branch-free across task kinds.
+        self.acc_ready = [0] * (n + 1)
+        self.partial = [0.0] * n
+        self.local_rem = local_rem
 
 
 @dataclass
@@ -72,7 +143,7 @@ class KernelResult:
     link_activations:
         Total link traversals.
     per_link:
-        Activations per directed link.
+        Activations per directed link ``(src_tile, dst_tile)``.
     spills:
         Messages that overflowed the register buffer into the Data SRAM.
     issue_trace:
@@ -83,14 +154,14 @@ class KernelResult:
     name: str
     cycles: int
     output: np.ndarray
-    op_counts: dict
+    op_counts: Dict[str, int]
     busy_slots: int
     link_activations: int
-    per_link: dict = field(default_factory=dict)
+    per_link: Dict[Tuple[int, int], int] = field(default_factory=dict)
     spills: int = 0
     #: Total cycles flits waited for busy links (congestion measure).
     link_queue_delay: int = 0
-    issue_trace: list = None
+    issue_trace: Optional[List[Tuple[int, int, int]]] = None
 
     def flops(self) -> int:
         """FLOPs executed, including distribution overhead Adds.
@@ -107,11 +178,28 @@ class KernelResult:
 
 
 class KernelSimulator:
-    """Simulates one kernel program on the configured machine."""
+    """Simulates one kernel program on the configured machine.
+
+    Instantiating this class directly dispatches to an engine:
+    :class:`BatchedKernelSimulator` by default,
+    :class:`ReferenceKernelSimulator` when ``engine="reference"`` or
+    the ``AZUL_SIM_REFERENCE`` environment variable is truthy.  The
+    subclasses can also be constructed explicitly (e.g. for
+    equivalence testing).
+    """
+
+    def __new__(cls, program: KernelProgram, torus: TorusGeometry,
+                config: AzulConfig, pe: PEModel,
+                record_issue_trace: bool = False,
+                engine: Optional[str] = None):
+        if cls is KernelSimulator:
+            cls = _resolve_engine(engine)
+        return object.__new__(cls)
 
     def __init__(self, program: KernelProgram, torus: TorusGeometry,
                  config: AzulConfig, pe: PEModel,
-                 record_issue_trace: bool = False):
+                 record_issue_trace: bool = False,
+                 engine: Optional[str] = None):
         self.program = program
         self.torus = torus
         self.config = config
@@ -140,8 +228,6 @@ class KernelSimulator:
         self._end_time = 0
 
         self._issue_trace = [] if self.record_issue_trace else None
-        self._partial = {}          # (tile, row) -> accumulated value
-        self._local_remaining = dict(program.local_counts)
         self._node_remaining = {}   # (row, tile) -> pending inputs
         self._rows_done = 0
         self._output = np.zeros(n)
@@ -150,6 +236,10 @@ class KernelSimulator:
             np.asarray(x, dtype=np.float64) if x is not None
             else np.zeros(n)
         )
+        #: Column segments as looked up by the issue paths; the batched
+        #: engine swaps in a list-backed copy in _reset_numeric_state.
+        self._col_segments = program.col_segments
+        self._reset_numeric_state()
 
         self._init_node_remaining()
         if program.dependent:
@@ -193,6 +283,17 @@ class KernelSimulator:
         )
 
     # ------------------------------------------------------------------
+    # Engine-specific numeric state
+    # ------------------------------------------------------------------
+    def _reset_numeric_state(self):
+        self._partial = {}          # (tile, row) -> accumulated value
+        self._local_remaining = dict(self.program.local_counts)
+
+    def _partial_value(self, tile_id, row) -> float:
+        """Current accumulated partial for ``row`` on ``tile_id``."""
+        return self._partial.get((tile_id, row), 0.0)
+
+    # ------------------------------------------------------------------
     # Initialization
     # ------------------------------------------------------------------
     def _init_node_remaining(self):
@@ -224,13 +325,15 @@ class KernelSimulator:
         for j in range(program.n):
             home = int(program.vec_tile[j])
             value = float(self._x[j])
-            segment = program.col_segments.get(home, {}).get(j)
+            segment = self._col_segments.get(home, {}).get(j)
             if segment is not None:
                 self._enqueue(home, [0, _T_SAAC, segment[0], segment[1],
-                                     value, 0])
+                                     value, 0, segment[0][0]])
             for tree_index in range(len(program.mcast_trees.get(j, ()))):
                 self._enqueue(
-                    home, [0, _T_SEND, ("mcast", j, value, tree_index)]
+                    home,
+                    [0, _T_SEND, ("mcast", j, value, tree_index),
+                     0, 0, 0, program.n],
                 )
         # Rows with no pending inputs complete immediately (y_i = 0 or
         # purely-local rows start from their FMACs).
@@ -246,7 +349,7 @@ class KernelSimulator:
         for i in range(program.n):
             home = int(program.vec_tile[i])
             if self._node_remaining[(i, home)] == 0:
-                self._enqueue(home, [0, _T_MUL, i])
+                self._enqueue(home, [0, _T_MUL, i, 0, 0, 0, i])
         self._flush_pumps()
 
     def _flush_pumps(self):
@@ -275,15 +378,18 @@ class KernelSimulator:
                 self._on_mcast_arrival(node, j, value, time, tree_index)
             else:
                 node, row, value = payload
-                self._enqueue(node, [time, _T_ADD, row, value])
+                self._enqueue(node, [time, _T_ADD, row, value, 0, 0, row])
                 self._schedule_pump(node, time)
 
     def _tile(self, tile_id) -> _Tile:
         tile = self._tiles.get(tile_id)
         if tile is None:
-            tile = _Tile()
+            tile = self._make_tile(tile_id)
             self._tiles[tile_id] = tile
         return tile
+
+    def _make_tile(self, tile_id) -> _Tile:
+        return _Tile()
 
     def _enqueue(self, tile_id, task):
         """Append a task to a tile, modeling message-buffer spills."""
@@ -303,7 +409,7 @@ class KernelSimulator:
             self._push(time, _EV_PUMP, tile_id)
 
     # ------------------------------------------------------------------
-    # PE issue
+    # PE issue (reference, operation-granularity path)
     # ------------------------------------------------------------------
     def _op_ready_time(self, tile: _Tile, task) -> int:
         """Earliest cycle the task's current operation can issue."""
@@ -322,22 +428,21 @@ class KernelSimulator:
         """Issue every operation that can start at ``now``."""
         tile = self._tiles[tile_id]
         pe = self.pe
+        limit = pe.thread_contexts if pe.multithreaded else 1
         while tile.tasks:
-            window = (
-                tile.tasks[:pe.thread_contexts] if pe.multithreaded
-                else tile.tasks[:1]
-            )
-            best_index = -1
-            best_time = None
-            for index, task in enumerate(window):
-                ready = self._op_ready_time(tile, task)
-                if best_time is None or ready < best_time:
+            tasks = tile.tasks
+            window = limit if limit < len(tasks) else len(tasks)
+            best_index = 0
+            best_time = self._op_ready_time(tile, tasks[0])
+            for index in range(1, window):
+                ready = self._op_ready_time(tile, tasks[index])
+                if ready < best_time:
                     best_time = ready
                     best_index = index
             if best_time > now:
                 self._schedule_pump(tile_id, best_time)
                 return
-            self._issue(tile_id, tile, tile.tasks[best_index], best_index,
+            self._issue(tile_id, tile, tasks[best_index], best_index,
                         best_time)
             if not pe.is_ideal and tile.tasks:
                 # One issue slot consumed; revisit at the next free cycle.
@@ -426,10 +531,10 @@ class KernelSimulator:
         self._forward_mcast(tree, node, j, value, time, tree_index)
         if node not in tree.destinations:
             return
-        segment = self.program.col_segments.get(node, {}).get(j)
+        segment = self._col_segments.get(node, {}).get(j)
         if segment is not None:
             self._enqueue(node, [time, _T_SAAC, segment[0], segment[1],
-                                 value, 0])
+                                 value, 0, segment[0][0]])
             self._schedule_pump(node, time)
 
     # ------------------------------------------------------------------
@@ -448,9 +553,10 @@ class KernelSimulator:
         else:
             tree = self.program.red_trees[row]
             parent = tree.parent[node]
-            value = self._partial.get((node, row), 0.0)
+            value = self._partial_value(node, row)
             self._enqueue(node, [time, _T_SEND,
-                                 ("partial", row, value, parent)])
+                                 ("partial", row, value, parent),
+                                 0, 0, 0, self.program.n])
             self._schedule_pump(node, time)
 
     def _row_complete(self, row, time):
@@ -458,25 +564,705 @@ class KernelSimulator:
         program = self.program
         home = int(program.vec_tile[row])
         if program.dependent:
-            self._enqueue(home, [time, _T_MUL, row])
+            self._enqueue(home, [time, _T_MUL, row, 0, 0, 0, row])
             self._schedule_pump(home, time)
         else:
-            self._output[row] = self._partial.get((home, row), 0.0)
+            self._output[row] = self._partial_value(home, row)
             self._rows_done += 1
             self._end_time = max(self._end_time, time)
 
     def _solve_row(self, row, home, completion):
         """SpTRSV: produce ``x_row`` and distribute it down the column."""
         program = self.program
-        acc = self._partial.get((home, row), 0.0)
+        acc = self._partial_value(home, row)
         value = (self._b[row] - acc) * program.inv_diag[row]
         self._output[row] = value
         self._rows_done += 1
-        segment = program.col_segments.get(home, {}).get(row)
+        segment = self._col_segments.get(home, {}).get(row)
         if segment is not None:
             self._enqueue(home, [completion, _T_SAAC, segment[0],
-                                 segment[1], value, 0])
+                                 segment[1], value, 0, segment[0][0]])
         for tree_index in range(len(program.mcast_trees.get(row, ()))):
             self._enqueue(home, [completion, _T_SEND,
-                                 ("mcast", row, value, tree_index)])
+                                 ("mcast", row, value, tree_index),
+                                 0, 0, 0, program.n])
         self._schedule_pump(home, completion)
+
+
+class ReferenceKernelSimulator(KernelSimulator):
+    """The original operation-granularity engine (golden model).
+
+    Every FMAC/ADD/MUL/SEND makes a full heap round-trip, so events map
+    1:1 onto the hardware description.  Selected by
+    ``engine="reference"`` or ``AZUL_SIM_REFERENCE=1``.
+    """
+
+
+class BatchedKernelSimulator(KernelSimulator):
+    """Run-granularity engine: batches column-segment runs exactly.
+
+    Exactness argument (mirrored by ``tests/test_engine_equivalence.py``):
+
+    * **Horizon** ``h`` — the earliest pending heap event.  While the
+      next issue time is strictly below ``h`` no external event (message
+      arrival, other tile's pump) could have interposed in the reference
+      engine, so the pump keeps going inline instead of bouncing through
+      the heap.  Ideal PEs additionally issue everything ready at the
+      current pump time regardless of the heap, exactly like the
+      reference loop.
+    * **Window competition** — a batched SAAC run continues only while
+      its next op's issue time stays strictly below every *other*
+      window task's hazard floor ``max(task_time, acc_ready[row])``.
+      Accumulator-ready times only grow, so floors computed at batch
+      start remain valid; ties conservatively end the batch and defer
+      to the exact selection scan.
+    * **Triggers** — the first op whose last local contribution lands
+      (``local_rem`` hits zero) ends the batch, because its
+      ``_node_input_done`` side effect can enqueue work and push events.
+    * **Numerics** — rows within a run are distinct, so the vectorized
+      ``partial[rows] += xval * vals`` performs the identical IEEE-754
+      operations in the identical order as the per-op reference.
+    """
+
+    # ------------------------------------------------------------------
+    def __init__(self, program: KernelProgram, torus: TorusGeometry,
+                 config: AzulConfig, pe: PEModel,
+                 record_issue_trace: bool = False,
+                 engine: Optional[str] = None):
+        super().__init__(program, torus, config, pe,
+                         record_issue_trace=record_issue_trace,
+                         engine=engine)
+        # Engine-constant parameters, cached as plain attributes so the
+        # hot loops never chase properties or nested config objects.
+        self._ic = pe.issue_cycles
+        self._ideal = pe.is_ideal
+        self._limit = pe.thread_contexts if pe.multithreaded else 1
+        self._msgbuf = config.msg_buffer_entries
+        self._spill_pen = 2 * config.sram_access_cycles
+        self._hop = config.hop_cycles
+        self._vec_tile_list = program.vec_tile.tolist()
+        # Column segments as plain Python lists: scalar ``rows[pos]`` /
+        # ``vals[pos]`` reads are then native ints/floats.  ``tolist``
+        # preserves the exact IEEE-754 values.
+        self._segments_lists = {
+            tile: {
+                j: (seg[0].tolist(), seg[1].tolist())
+                for j, seg in segments.items()
+            }
+            for tile, segments in program.col_segments.items()
+        }
+        # Flattened multicast routing: (j, tree_index, node) -> (children
+        # tuple, triggered column segment or None), plus the root fork
+        # used by Send ops.  One dict probe replaces the tree-attribute
+        # chase, set membership, and nested segment lookup per arrival.
+        plan: Dict[Tuple[int, int, int],
+                   Tuple[tuple, Optional[tuple]]] = {}
+        send_plan: Dict[Tuple[int, int], Tuple[int, tuple]] = {}
+        for j, trees in program.mcast_trees.items():
+            for tree_index, tree in enumerate(trees):
+                nodes = set(tree.children)
+                for childs in tree.children.values():
+                    nodes.update(childs)
+                nodes.add(tree.root)
+                for node in nodes:
+                    segment = None
+                    if node in tree.destinations:
+                        segments = self._segments_lists.get(node)
+                        if segments is not None:
+                            segment = segments.get(j)
+                    plan[(j, tree_index, node)] = (
+                        tuple(tree.children.get(node, ())), segment,
+                    )
+                send_plan[(j, tree_index)] = (
+                    tree.root, tuple(tree.children.get(tree.root, ())),
+                )
+        self._mcast_plan = plan
+        self._mcast_send = send_plan
+        # Dummy hazard row (see ``_TASK_HAZARD``): Sends gate on nothing,
+        # so they point at accumulator slot ``n`` which stays 0 forever.
+        self._dummy_row = int(program.n)
+
+    def _reset_numeric_state(self):
+        by_tile: Dict[int, List[int]] = {}
+        n = self.program.n
+        for (tile_id, row), count in self.program.local_counts.items():
+            rem = by_tile.get(tile_id)
+            if rem is None:
+                rem = [0] * n
+                by_tile[tile_id] = rem
+            rem[row] = count
+        self._local_by_tile = by_tile
+        self._col_segments = self._segments_lists
+
+    def _make_tile(self, tile_id) -> _Tile:
+        return _BatchedTile(self.program.n,
+                            self._local_by_tile.get(tile_id))
+
+    def _partial_value(self, tile_id, row) -> float:
+        tile = self._tiles.get(tile_id)
+        if tile is None:
+            return 0.0
+        return tile.partial[row]
+
+    # ------------------------------------------------------------------
+    # Event machinery (same semantics as the base class, with the
+    # per-event constant lookups hoisted).
+    # ------------------------------------------------------------------
+    def _drain(self):
+        events = self._events
+        pop = heapq.heappop
+        tiles = self._tiles
+        pump = self._pump
+        arrival = self._on_mcast_arrival
+        enqueue_pump = self._enqueue_and_pump
+        while events:
+            time, _, kind, payload = pop(events)
+            if kind == _EV_PUMP:
+                tile = tiles[payload]
+                if tile.next_pump != time:
+                    continue  # stale: a different pump is now scheduled
+                tile.next_pump = None
+                pump(payload, time)
+            elif kind == _EV_MCAST:
+                node, j, value, tree_index = payload
+                arrival(node, j, value, time, tree_index)
+            else:
+                node, row, value = payload
+                enqueue_pump(node, [time, _T_ADD, row, value, 0, 0, row],
+                             time)
+
+    def _enqueue_and_pump(self, tile_id, task, time):
+        """Fused ``_enqueue`` + ``_schedule_pump`` (one tile fetch)."""
+        tiles = self._tiles
+        tile = tiles.get(tile_id)
+        if tile is None:
+            tile = self._make_tile(tile_id)
+            tiles[tile_id] = tile
+        tasks = tile.tasks
+        if len(tasks) >= self._msgbuf:
+            self._spills += 1
+            task[0] += self._spill_pen
+        tasks.append(task)
+        if not self._ideal and tile.pe_time > time:
+            time = tile.pe_time
+        nxt = tile.next_pump
+        if nxt is None or time < nxt:
+            tile.next_pump = time
+            heapq.heappush(self._events, (time, self._seq, _EV_PUMP,
+                                          tile_id))
+            self._seq += 1
+
+    def _enqueue(self, tile_id, task):
+        tiles = self._tiles
+        tile = tiles.get(tile_id)
+        if tile is None:
+            tile = self._make_tile(tile_id)
+            tiles[tile_id] = tile
+        tasks = tile.tasks
+        if len(tasks) >= self._msgbuf:
+            self._spills += 1
+            task[0] += self._spill_pen
+        tasks.append(task)
+
+    def _schedule_pump(self, tile_id, time):
+        tiles = self._tiles
+        tile = tiles.get(tile_id)
+        if tile is None:
+            tile = self._make_tile(tile_id)
+            tiles[tile_id] = tile
+        if not self._ideal and tile.pe_time > time:
+            time = tile.pe_time
+        nxt = tile.next_pump
+        if nxt is None or time < nxt:
+            tile.next_pump = time
+            heapq.heappush(self._events, (time, self._seq, _EV_PUMP,
+                                          tile_id))
+            self._seq += 1
+
+    def _traverse_link(self, src, dst, time, event_kind, payload):
+        link = (src, dst)
+        link_free = self._link_free
+        depart = link_free.get(link, 0)
+        if depart < time:
+            depart = time
+        else:
+            self._queue_delay += depart - time
+        link_free[link] = depart + 1
+        per_link = self._per_link
+        per_link[link] = per_link.get(link, 0) + 1
+        self._link_count += 1
+        arrival = depart + self._hop
+        heapq.heappush(self._events, (arrival, self._seq, event_kind,
+                                      payload))
+        self._seq += 1
+        if arrival > self._end_time:
+            self._end_time = arrival
+
+    def _on_mcast_arrival(self, node, j, value, time, tree_index):
+        children, segment = self._mcast_plan[(j, tree_index, node)]
+        if children:
+            traverse = self._traverse_link
+            for child in children:
+                traverse(node, child, time, _EV_MCAST,
+                         (child, j, value, tree_index))
+        if segment is not None:
+            self._enqueue_and_pump(
+                node, [time, _T_SAAC, segment[0], segment[1], value, 0,
+                       segment[0][0]],
+                time,
+            )
+
+    def _node_input_done(self, row, node, time):
+        remaining_map = self._node_remaining
+        key = (row, node)
+        remaining = remaining_map[key] - 1
+        remaining_map[key] = remaining
+        if remaining > 0:
+            return
+        home = self._vec_tile_list[row]
+        if node == home:
+            self._row_complete(row, time)
+        else:
+            parent = self.program.red_trees[row].parent[node]
+            tile = self._tiles.get(node)
+            value = 0.0 if tile is None else tile.partial[row]
+            self._enqueue_and_pump(
+                node, [time, _T_SEND, ("partial", row, value, parent),
+                       0, 0, 0, self._dummy_row],
+                time,
+            )
+
+    def _row_complete(self, row, time):
+        home = self._vec_tile_list[row]
+        if self.program.dependent:
+            self._enqueue_and_pump(home, [time, _T_MUL, row, 0, 0, 0, row],
+                                   time)
+        else:
+            tile = self._tiles.get(home)
+            self._output[row] = 0.0 if tile is None else tile.partial[row]
+            self._rows_done += 1
+            if time > self._end_time:
+                self._end_time = time
+
+    def _solve_row(self, row, home, completion):
+        program = self.program
+        tile = self._tiles.get(home)
+        acc = 0.0 if tile is None else tile.partial[row]
+        # ``float()`` keeps the produced value a native float (the bits
+        # are unchanged) so downstream FMACs avoid numpy scalar math.
+        value = float((self._b[row] - acc) * program.inv_diag[row])
+        self._output[row] = value
+        self._rows_done += 1
+        segments = self._col_segments.get(home)
+        segment = None if segments is None else segments.get(row)
+        if segment is not None:
+            self._enqueue(home, [completion, _T_SAAC, segment[0],
+                                 segment[1], value, 0, segment[0][0]])
+        for tree_index in range(len(program.mcast_trees.get(row, ()))):
+            self._enqueue(home, [completion, _T_SEND,
+                                 ("mcast", row, value, tree_index),
+                                 0, 0, 0, self._dummy_row])
+        self._schedule_pump(home, completion)
+
+    # ------------------------------------------------------------------
+    def _issue(self, tile_id, tile, task, task_index, issue_time):
+        """Non-SAAC issue (SAAC goes through ``_issue_saac_batch``)."""
+        kind = task[1]
+        ic = self._ic
+        tile.busy += ic
+        if self._issue_trace is not None:
+            self._issue_trace.append((issue_time, tile_id, kind))
+        if not self._ideal:
+            tile.pe_time = issue_time + ic
+        if kind == _T_ADD:
+            row = task[2]
+            completion = issue_time + self._alu_latency
+            tile.op_counts[OpKind.ADD] += 1
+            tile.acc_ready[row] = completion
+            tile.partial[row] += task[3]
+            del tile.tasks[task_index]
+            if completion > self._end_time:
+                self._end_time = completion
+            self._node_input_done(row, tile_id, completion)
+        elif kind == _T_MUL:
+            row = task[2]
+            completion = issue_time + self._alu_latency
+            tile.op_counts[OpKind.MUL] += 1
+            del tile.tasks[task_index]
+            if completion > self._end_time:
+                self._end_time = completion
+            self._solve_row(row, tile_id, completion)
+        else:  # _T_SEND
+            payload = task[2]
+            completion = issue_time + self._send_latency
+            tile.op_counts[OpKind.SEND] += 1
+            del tile.tasks[task_index]
+            if completion > self._end_time:
+                self._end_time = completion
+            if payload[0] == "mcast":
+                _, j, value, tree_index = payload
+                root, children = self._mcast_send[(j, tree_index)]
+                if children:
+                    traverse = self._traverse_link
+                    for child in children:
+                        traverse(root, child, completion, _EV_MCAST,
+                                 (child, j, value, tree_index))
+            else:
+                _, row, value, parent = payload
+                self._traverse_link(tile_id, parent, completion,
+                                    _EV_PARTIAL, (parent, row, value))
+
+    # ------------------------------------------------------------------
+    def _pump(self, tile_id, now):
+        """Horizon-bounded pump: drains inline while no event intervenes.
+
+        The single-op SAAC issue (the dominant case once the machine is
+        saturated and batches are horizon-bounded) is fully inlined
+        here; runs that can batch further go through
+        ``_issue_saac_batch``.
+        """
+        tile = self._tiles[tile_id]
+        ideal = self._ideal
+        limit = self._limit
+        ic = self._ic
+        alu = self._alu_latency
+        events = self._events
+        acc = tile.acc_ready
+        tasks = tile.tasks
+        partial = tile.partial
+        local_rem = tile.local_rem
+        op_counts = tile.op_counts
+        trace = self._issue_trace
+        while True:
+            n_tasks = len(tasks)
+            if not n_tasks:
+                return
+            h = events[0][0] if events else _BIG
+            window = limit if limit < n_tasks else n_tasks
+            # Inline selection, identical to the reference scan: the
+            # winner is the first strict minimum of
+            # ``ready = max(arrival, acc hazard, pe_time)``.  Ties go to
+            # the lowest index, so the first task whose hazard floor is
+            # at or below ``pe_time`` wins outright (``ready`` cannot
+            # drop below ``pe_time``) and the scan short-circuits.
+            pe_time = tile.pe_time
+            best_index = 0
+            best_ready = _BIG
+            index = 0
+            for task in tasks if window == n_tasks else tasks[:window]:
+                # Branch-free hazard read: slot ``_TASK_HAZARD`` always
+                # names the row whose accumulator gates the task's
+                # current op (Sends name the dummy row, stuck at 0).
+                m = acc[task[6]]
+                t = task[0]
+                if t > m:
+                    m = t
+                if m <= pe_time:
+                    best_index = index
+                    best_ready = pe_time
+                    break
+                if m < best_ready:
+                    best_ready = m
+                    best_index = index
+                index += 1
+            best_time = best_ready
+            if best_time > now:
+                if best_time >= h:
+                    # An event at or before best_time could change the
+                    # picture: yield to the heap (reference order).
+                    nxt = tile.next_pump
+                    if nxt is None or best_time < nxt:
+                        tile.next_pump = best_time
+                        heapq.heappush(events, (best_time, self._seq,
+                                                _EV_PUMP, tile_id))
+                        self._seq += 1
+                    return
+                # Fast-forward: nothing can intervene.  The reference
+                # would push a pump at best_time and pop it straight
+                # back (clearing ``next_pump``); mirror that state.
+                now = best_time
+                tile.next_pump = None
+            task = tasks[best_index]
+            if task[1] == 0:  # _T_SAAC
+                rows = task[2]
+                pos = task[5]
+                row0 = rows[pos]
+                trigger = local_rem[row0] == 1
+                p1 = pos + 1
+                # Probe whether a second run op could join the batch;
+                # if so, defer to the multi-op planner.  The heap
+                # horizon blocks extension in the vast majority of
+                # pumps, so the hazard floor of the losing window tasks
+                # (``other_floor``) is only computed once the cheap
+                # horizon gate has already passed.
+                if not trigger and p1 < len(rows):
+                    t0 = task[0]
+                    ready2 = acc[rows[p1]]
+                    if t0 > ready2:
+                        ready2 = t0
+                    if ideal:
+                        t1 = ready2
+                        gate = ready2 <= now or ready2 < h
+                    else:
+                        t1 = best_time + ic
+                        if ready2 > t1:
+                            t1 = ready2
+                        gate = t1 < h
+                    if gate:
+                        other_floor = _BIG
+                        k = 0
+                        for task2 in (tasks if window == n_tasks
+                                      else tasks[:window]):
+                            if k != best_index:
+                                m = acc[task2[6]]
+                                t = task2[0]
+                                if t > m:
+                                    m = t
+                                if m < other_floor:
+                                    other_floor = m
+                            k += 1
+                        if t1 < other_floor:
+                            now = self._issue_saac_batch(
+                                tile_id, tile, task, best_index,
+                                best_time, other_floor, h, now, t1,
+                            )
+                            if now < 0:
+                                return
+                            continue
+                # -- single-op issue, fully inline ---------------------
+                completion = best_time + alu
+                acc[row0] = completion
+                partial[row0] += task[4] * task[3][pos]
+                local_rem[row0] -= 1
+                op_counts[0] += 1
+                tile.busy += ic
+                if trace is not None:
+                    trace.append((best_time, tile_id, 0))
+                if p1 >= len(rows):
+                    del tasks[best_index]
+                else:
+                    task[5] = p1
+                    task[6] = rows[p1]
+                if not ideal:
+                    pe_time = best_time + ic
+                    tile.pe_time = pe_time
+                if completion > self._end_time:
+                    self._end_time = completion
+                if trigger:
+                    self._node_input_done(row0, tile_id, completion)
+                if ideal:
+                    # The reference ideal pump keeps draining within
+                    # one invocation.
+                    continue
+            else:
+                self._issue(tile_id, tile, task, best_index, best_time)
+                if ideal:
+                    # The reference ideal pump keeps draining within
+                    # one invocation (no heap round-trip, no next_pump
+                    # churn).
+                    continue
+                pe_time = tile.pe_time
+            if not tasks:
+                # Reference exits its loop without scheduling.
+                return
+            if events and events[0][0] <= pe_time:
+                nxt = tile.next_pump
+                if nxt is None or pe_time < nxt:
+                    tile.next_pump = pe_time
+                    heapq.heappush(events, (pe_time, self._seq,
+                                            _EV_PUMP, tile_id))
+                    self._seq += 1
+                return
+            # Reference would push a pump at pe_time and pop it right
+            # back (strictly before any event): continue inline with
+            # the same ``next_pump = None`` state.
+            tile.next_pump = None
+            now = pe_time
+
+    # ------------------------------------------------------------------
+    def _issue_saac_batch(self, tile_id, tile, task, task_index,
+                          best_time, other_floor, h, now, t1):
+        """Issue a multi-op batch of one SAAC run (exactness-bounded).
+
+        Only called once ``_pump``'s probe established that the run's
+        second op (issuing at ``t1``) can join the batch, so ``count``
+        is always at least 2.  Returns the pump's new ``now``
+        (non-negative) to continue inline, or ``-1`` when the pump
+        must yield to the heap.
+        """
+        ic = self._ic
+        ideal = self._ideal
+        alu = self._alu_latency
+        acc = tile.acc_ready
+        partial = tile.partial
+        local_rem = tile.local_rem
+        rows = task[2]
+        vals = task[3]
+        xval = task[4]
+        pos = task[5]
+        n_run = len(rows)
+        t0 = task[0]
+        p1 = pos + 1
+        running = now
+
+        if n_run - pos >= _VEC_THRESHOLD:
+            count, times, running = self._plan_batch_vectorized(
+                acc, local_rem, rows, pos, t0, best_time,
+                other_floor, h, now,
+            )
+            trigger = local_rem[rows[pos + count - 1]] == 1
+            last_t = times[count - 1]
+            comp_max = max(times) + alu
+        else:
+            t_next = t1
+            if ideal and t_next > running:
+                running = t_next
+            times = [best_time, t_next]
+            cur = t_next
+            trigger = local_rem[rows[p1]] == 1
+            p = p1 + 1
+            while p < n_run and not trigger:
+                row = rows[p]
+                ready = acc[row]
+                if t0 > ready:
+                    ready = t0
+                if ideal:
+                    t_next = ready
+                    if t_next >= other_floor or (
+                        t_next > running and t_next >= h
+                    ):
+                        break
+                    if t_next > running:
+                        running = t_next
+                else:
+                    floor = cur + ic
+                    t_next = ready if ready > floor else floor
+                    if t_next >= other_floor or t_next >= h:
+                        break
+                times.append(t_next)
+                cur = t_next
+                p += 1
+                if local_rem[row] == 1:
+                    trigger = True
+                    break
+            count = len(times)
+            last_t = cur
+            comp_max = max(times) + alu
+
+        end = pos + count
+        # Vectorized numeric contribution: the per-op products are one
+        # array multiply; rows within a run are distinct, so the
+        # scatter applies the identical IEEE-754 adds in the identical
+        # order as per-op issue.
+        contrib = (
+            xval * np.asarray(vals[pos:end], dtype=np.float64)
+        ).tolist()
+        for k in range(count):
+            r = rows[pos + k]
+            acc[r] = times[k] + alu
+            partial[r] += contrib[k]
+            local_rem[r] -= 1
+        tile.op_counts[0] += count
+        tile.busy += ic * count
+        if self._issue_trace is not None:
+            trace = self._issue_trace
+            for k in range(count):
+                trace.append((times[k], tile_id, _T_SAAC))
+        if not ideal:
+            tile.pe_time = last_t + ic
+        elif running > now:
+            # An in-batch fast-forward: the reference pushed a pump at
+            # the hop time and popped it back, clearing ``next_pump``.
+            # Mirror that before the trigger's side effects reschedule.
+            tile.next_pump = None
+        if comp_max > self._end_time:
+            self._end_time = comp_max
+
+        if end >= n_run:
+            del tile.tasks[task_index]
+        else:
+            task[5] = end
+            task[6] = rows[end]
+
+        if trigger:
+            self._node_input_done(rows[end - 1], tile_id, last_t + alu)
+
+        if ideal:
+            return running
+        pe_time = tile.pe_time
+        if not tile.tasks:
+            return pe_time  # pump loop exits without scheduling
+        events = self._events
+        if events and events[0][0] <= pe_time:
+            nxt = tile.next_pump
+            if nxt is None or pe_time < nxt:
+                tile.next_pump = pe_time
+                heapq.heappush(events, (pe_time, self._seq, _EV_PUMP,
+                                        tile_id))
+                self._seq += 1
+            return -1
+        tile.next_pump = None
+        return pe_time
+
+    def _plan_batch_vectorized(self, acc, local_rem, rows, pos, t0,
+                               best_time, other_floor, h, now):
+        """Closed-form issue times for a long run tail (numpy path).
+
+        Solves the recurrence ``t_k = max(ready_k, t_{k-1} + ic)``
+        (non-ideal) or ``t_k = ready_k`` (ideal) for the whole
+        remaining run, then truncates at the first op violating the
+        horizon/window bounds or landing a trigger.
+        Returns ``(count, times_list, running_now)``.
+        """
+        ic = self._ic
+        tail = rows[pos:]
+        length = len(tail)
+        ready = np.fromiter(
+            (acc[r] for r in tail), dtype=np.int64, count=length,
+        )
+        np.maximum(ready, t0, out=ready)
+        if self._ideal:
+            t_all = ready
+            t_all[0] = best_time
+            runmax = np.maximum.accumulate(t_all)
+            prior = np.empty(length, dtype=np.int64)
+            prior[0] = now
+            np.maximum(runmax[:-1], now, out=prior[1:])
+            ok = (t_all < other_floor) & ((t_all <= prior) | (t_all < h))
+        else:
+            steps = ic * np.arange(length, dtype=np.int64)
+            shifted = ready - steps
+            shifted[0] = best_time
+            t_all = np.maximum.accumulate(shifted) + steps
+            bound = other_floor if other_floor < h else h
+            ok = t_all < bound
+        ok[0] = True
+        bad = np.nonzero(~ok)[0]
+        count = int(bad[0]) if len(bad) else length
+        # Truncate at (and include) the first trigger op.
+        for k in range(count):
+            if local_rem[tail[k]] == 1:
+                count = k + 1
+                break
+        times = t_all[:count].tolist()
+        if self._ideal:
+            running = max(times)
+            if now > running:
+                running = now
+        else:
+            running = times[-1]
+        return count, times, running
+
+
+def _resolve_engine(engine: Optional[str]) -> type:
+    """Map an ``engine`` argument / environment to a simulator class."""
+    if engine is None:
+        engine = "reference" if _env_wants_reference() else "batched"
+    if engine == "batched":
+        return BatchedKernelSimulator
+    if engine == "reference":
+        return ReferenceKernelSimulator
+    raise ValueError(
+        f"unknown simulator engine {engine!r}; "
+        "choices: 'batched', 'reference'"
+    )

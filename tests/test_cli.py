@@ -21,6 +21,17 @@ class TestParser:
         assert args.pe == "azul"
         assert args.rows == 8
 
+    def test_run_jobs_flag(self):
+        args = build_parser().parse_args(["run", "fig27", "--jobs", "4"])
+        assert args.ids == ["fig27"]
+        assert args.jobs == 4
+
+    def test_experiment_jobs_flag(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig27", "--jobs", "2"]
+        )
+        assert args.jobs == 2
+
 
 class TestCommands:
     def test_suite(self, capsys):
@@ -76,3 +87,9 @@ class TestCommands:
     def test_experiment_dispatch(self, capsys):
         assert main(["experiment", "tab2"]) == 0
         assert "SpTRSV" in capsys.readouterr().out
+
+    def test_run_list(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig20" in out
+        assert "abl_trees" in out
