@@ -108,7 +108,7 @@ def cmd_solve(args):
 
 
 def cmd_map(args):
-    from repro.comm import TorusGeometry
+    from repro.comm import make_geometry
     from repro.config import AzulConfig
     from repro.core import analyze_traffic, get_mapper, placement_stats
     from repro.graph import color_and_permute
@@ -118,7 +118,8 @@ def cmd_map(args):
     matrix, b = _load_matrix(args.matrix)
     matrix, b, _ = color_and_permute(matrix, b)
     lower = ic0(matrix)
-    config = AzulConfig(mesh_rows=args.rows, mesh_cols=args.cols)
+    config = AzulConfig(mesh_rows=args.rows, mesh_cols=args.cols,
+                        topology=args.topology)
     mapper = get_mapper(args.mapper)
     if args.mapper == "azul":
         placement = mapper(
@@ -129,7 +130,7 @@ def cmd_map(args):
         placement = mapper(matrix, lower, config.num_tiles)
     placement.validate_capacity(config)
     stats = placement_stats(placement)
-    torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
+    torus = make_geometry(config)
     traffic = analyze_traffic(placement, matrix, lower, torus)
     print(f"mapper {args.mapper} on {config.mesh_rows}x{config.mesh_cols}:")
     print(f"  nnz imbalance (max/mean): {stats['nnz_imbalance']:.2f}")
@@ -152,7 +153,8 @@ def cmd_simulate(args):
     matrix, b = _load_matrix(args.matrix)
     matrix, b, _ = color_and_permute(matrix, b)
     lower = ic0(matrix)
-    config = AzulConfig(mesh_rows=args.rows, mesh_cols=args.cols)
+    config = AzulConfig(mesh_rows=args.rows, mesh_cols=args.cols,
+                        topology=args.topology)
     mapper = get_mapper(args.mapper)
     if args.mapper == "azul":
         placement = mapper(
@@ -280,6 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["round_robin", "block", "sparsep", "azul"])
     p_map.add_argument("--rows", type=int, default=8)
     p_map.add_argument("--cols", type=int, default=8)
+    p_map.add_argument("--topology", default="torus",
+                       choices=["torus", "mesh"], help="NoC topology")
     p_map.set_defaults(func=cmd_map)
 
     p_sim = sub.add_parser("simulate", help="cycle-simulate PCG on Azul")
@@ -290,6 +294,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["azul", "azul_single", "dalorex", "ideal"])
     p_sim.add_argument("--rows", type=int, default=8)
     p_sim.add_argument("--cols", type=int, default=8)
+    p_sim.add_argument("--topology", default="torus",
+                       choices=["torus", "mesh"], help="NoC topology")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")

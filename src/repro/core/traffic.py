@@ -12,7 +12,9 @@ Given a placement, every kernel's communication is fully determined
 
 Messages are counted per the paper's model — a set spanning N tiles
 induces N-1 messages — and link activations come from the actual
-multicast/reduction trees on the torus.
+multicast/reduction trees the fabric builds
+(:class:`repro.sim.fabric.FabricModel`), so static analysis and the
+dynamic simulator agree on routing by construction.
 """
 
 from __future__ import annotations
@@ -21,10 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.comm.multicast import build_multicast_tree
-from repro.comm.reduction import build_reduction_tree
-from repro.comm.torus import TorusGeometry
 from repro.core.placement import Placement
+from repro.sim.fabric import FabricModel
 from repro.sparse.csr import CSRMatrix
 
 
@@ -79,7 +79,7 @@ def _tiles_by_group(group_ids: np.ndarray, tiles: np.ndarray, n_groups: int):
     ]
 
 
-def _kernel_traffic(name: str, torus: TorusGeometry,
+def _kernel_traffic(name: str, fabric: FabricModel,
                     col_tiles: list, row_tiles: list,
                     vec_tile: np.ndarray) -> KernelTraffic:
     """Traffic of one kernel given per-column and per-row tile sets."""
@@ -91,7 +91,7 @@ def _kernel_traffic(name: str, torus: TorusGeometry,
         if not destinations:
             continue
         traffic.multicast_messages += len(destinations)
-        tree = build_multicast_tree(torus, home, destinations)
+        tree = fabric.multicast_tree(home, destinations)
         traffic.link_activations += tree.n_link_activations
         for edge in tree.edges:
             per_link[edge] = per_link.get(edge, 0) + 1
@@ -101,7 +101,7 @@ def _kernel_traffic(name: str, torus: TorusGeometry,
         if not sources:
             continue
         traffic.reduction_messages += len(sources)
-        tree = build_reduction_tree(torus, home, sources)
+        tree = fabric.reduction_tree(home, sources)
         traffic.link_activations += tree.n_link_activations
         for edge in tree.edges:
             per_link[edge] = per_link.get(edge, 0) + 1
@@ -109,8 +109,15 @@ def _kernel_traffic(name: str, torus: TorusGeometry,
 
 
 def analyze_traffic(placement: Placement, matrix: CSRMatrix,
-                    lower: CSRMatrix, torus: TorusGeometry) -> TrafficReport:
-    """Full-iteration traffic: SpMV + forward SpTRSV + backward SpTRSV."""
+                    lower: CSRMatrix, torus) -> TrafficReport:
+    """Full-iteration traffic: SpMV + forward SpTRSV + backward SpTRSV.
+
+    ``torus`` may be a raw geometry (torus or mesh) or an existing
+    :class:`~repro.sim.fabric.FabricModel`; tree construction always
+    goes through the fabric so this static analysis matches the
+    simulator's routing exactly.
+    """
+    fabric = torus if isinstance(torus, FabricModel) else FabricModel(torus)
     n = matrix.n_rows
     a_rows = np.repeat(np.arange(n), matrix.row_nnz())
     a_cols = matrix.indices
@@ -120,20 +127,20 @@ def analyze_traffic(placement: Placement, matrix: CSRMatrix,
     l_off = l_rows != l_cols
 
     spmv = _kernel_traffic(
-        "spmv", torus,
+        "spmv", fabric,
         _tiles_by_group(a_cols, placement.a_tile, n),
         _tiles_by_group(a_rows, placement.a_tile, n),
         placement.vec_tile,
     )
     forward = _kernel_traffic(
-        "sptrsv_lower", torus,
+        "sptrsv_lower", fabric,
         _tiles_by_group(l_cols[l_off], placement.l_tile[l_off], n),
         _tiles_by_group(l_rows[l_off], placement.l_tile[l_off], n),
         placement.vec_tile,
     )
     # L^T solve: L's rows become columns and vice versa.
     backward = _kernel_traffic(
-        "sptrsv_upper", torus,
+        "sptrsv_upper", fabric,
         _tiles_by_group(l_rows[l_off], placement.l_tile[l_off], n),
         _tiles_by_group(l_cols[l_off], placement.l_tile[l_off], n),
         placement.vec_tile,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 
-from repro.comm import TorusGeometry
+from repro.comm import make_geometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic, build_pcg_hypergraph, map_azul
 from repro.experiments.common import ExperimentSession
@@ -32,7 +32,7 @@ def run(matrix: str = "consph", config: AzulConfig = None,
     """Sweep partitioner presets on one matrix."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
+    torus = make_geometry(config)
     prepared = session.prepare(matrix)
     hypergraph = build_pcg_hypergraph(prepared.matrix, prepared.lower)
     result = ExperimentResult(

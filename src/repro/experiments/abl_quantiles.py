@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 
-from repro.comm import TorusGeometry
+from repro.comm import make_geometry
 from repro.config import AzulConfig
 from repro.core import map_azul
 from repro.dataflow import build_sptrsv_program
@@ -24,7 +24,7 @@ def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
     """Sweep the quantile count on one matrix's forward SpTRSV."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
+    torus = make_geometry(config)
     prepared = session.prepare(matrix)
     result = ExperimentResult(
         experiment="abl_quantiles",

@@ -9,7 +9,7 @@ total traffic, and simulated cycles.
 
 from __future__ import annotations
 
-from repro.comm import TorusGeometry
+from repro.comm import make_geometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic, map_azul
 from repro.experiments.common import ExperimentSession, mapper_options
@@ -21,7 +21,7 @@ def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
     """Sweep the row-edge weight on one matrix."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
+    torus = make_geometry(config)
     prepared = session.prepare(matrix)
     result = ExperimentResult(
         experiment="abl_row_weight",

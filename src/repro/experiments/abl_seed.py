@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.comm import TorusGeometry
+from repro.comm import make_geometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic, build_pcg_hypergraph, map_azul
 from repro.experiments.common import ExperimentSession
@@ -24,7 +24,7 @@ def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
     """Map one matrix with several partitioner seeds."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
+    torus = make_geometry(config)
     prepared = session.prepare(matrix)
     hypergraph = build_pcg_hypergraph(prepared.matrix, prepared.lower)
     result = ExperimentResult(

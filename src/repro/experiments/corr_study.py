@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.comm import TorusGeometry
+from repro.comm import make_geometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic
 from repro.experiments.common import ExperimentSession, default_matrices
@@ -25,7 +25,7 @@ def run(matrices=None, config: AzulConfig = None,
     matrices = matrices or (default_matrices() + ["G3_circuit", "tmt_sym"])
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
+    torus = make_geometry(config)
     result = ExperimentResult(
         experiment="corr_study",
         title="Spatial correlation vs Block-mapping traffic penalty",

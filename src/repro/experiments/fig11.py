@@ -8,7 +8,7 @@ The paper reports Azul reducing traffic by gmean 66x over Round Robin,
 
 from __future__ import annotations
 
-from repro.comm import TorusGeometry
+from repro.comm import make_geometry
 from repro.config import AzulConfig
 from repro.core import analyze_traffic
 from repro.experiments.common import ExperimentSession, default_matrices
@@ -24,7 +24,7 @@ def run(matrices=None, config: AzulConfig = None,
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
+    torus = make_geometry(config)
     result = ExperimentResult(
         experiment="fig11",
         title="NoC link activations per PCG iteration (normalized)",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.comm import TorusGeometry
+from repro.comm import make_geometry
 from repro.config import AzulConfig
 from repro.core import map_azul
 from repro.dataflow import build_sptrsv_program
@@ -37,7 +37,7 @@ def run(matrix: str = "consph", config: AzulConfig = None,
     """Compare nonzero-balanced (q=0) vs time-balanced (q) mappings."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    torus = TorusGeometry(config.mesh_rows, config.mesh_cols)
+    torus = make_geometry(config)
     prepared = session.prepare(matrix)
     options = mapper_options("speed")
 

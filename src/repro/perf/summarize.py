@@ -8,6 +8,7 @@ equivalent of the paper's figure or table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass
@@ -108,7 +109,7 @@ def _format_bytes(n: int) -> str:
     return f"{value:.1f} GiB"
 
 
-def format_cache_stats(stats, inventory: dict = None) -> str:
+def format_cache_stats(stats, inventory: Optional[dict] = None) -> str:
     """Render artifact-cache observability as a plain-text summary.
 
     Parameters

@@ -1,31 +1,13 @@
-"""Discrete-event kernel simulator.
+"""Discrete-event kernel simulator: the layer composition root.
 
 Executes one :class:`~repro.dataflow.kernel_program.KernelProgram`
-cycle-accurately *and* numerically: PEs issue operations subject to
-issue bandwidth and accumulator RAW hazards (hidden by multithreading,
-Sec. V-A), messages traverse torus links at one flit per link per cycle,
-multicasts fork in routers, and reductions merge with standalone Adds at
-junction tiles.  The computed output vector is bit-comparable to the
-reference kernels, which is how functional correctness is verified.
-
-Two interchangeable engines implement the model:
-
-* :class:`ReferenceKernelSimulator` — the original operation-granularity
-  engine: every FMAC/ADD/MUL/SEND is one heap event round-trip.  Slow,
-  but each step maps 1:1 onto the hardware description; kept as the
-  golden model.
-* :class:`BatchedKernelSimulator` — the run-granularity engine (the
-  default): a ``_T_SAAC`` column-segment run is issued as one batched
-  step whose per-op issue times (issue bandwidth, RAW accumulator
-  hazards, multithreaded window competition) are computed analytically
-  — with numpy for long runs — and whose numeric contribution is a
-  vectorized ``partial[rows] += xval * vals`` accumulation.  Batches
-  are bounded by an exactness *horizon*: an operation joins the batch
-  only while no pending heap event, no competing window task, and no
-  triggered side effect could have changed the reference engine's
-  choice.  Cycles, outputs, op counts, link statistics, and spills are
-  therefore bit-identical to the reference engine (enforced by
-  ``tests/test_engine_equivalence.py``).
+cycle-accurately *and* numerically.  :class:`KernelSimulator` composes
+the simulator layers (``events ← state ← fabric ← issue``, see
+:mod:`repro.sim` and ``docs/simulator.md``); ``engine=`` selects *only*
+the :class:`~repro.sim.issue.IssueStrategy`.  The two engines are
+therefore bit-identical by construction everywhere except issue
+timing, and issue timing is enforced bit-identical by
+``tests/test_engine_equivalence.py``.
 
 ``KernelSimulator(...)`` transparently constructs the batched engine;
 set ``AZUL_SIM_REFERENCE=1`` (or pass ``engine="reference"``) to fall
@@ -34,45 +16,23 @@ back to the per-op golden model.
 
 from __future__ import annotations
 
-import heapq
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.comm.torus import TorusGeometry
 from repro.config import AzulConfig
 from repro.dataflow.kernel_program import KernelProgram
-from repro.dataflow.tasks import OpKind
 from repro.errors import SimulationError
+from repro.sim.events import EV_PUMP, EventQueue, drain
+from repro.sim.fabric import LinkFabric, flatten_multicast_plan
+from repro.sim.issue import (
+    VEC_THRESHOLD as _VEC_THRESHOLD,  # re-exported for the test suite
+    resolve_strategy,
+)
 from repro.sim.pe import PEModel
-
-# Event kinds (heap entries are (time, seq, kind, payload)).
-_EV_PUMP = 0
-_EV_MCAST = 1    # multicast value arriving at a tree node
-_EV_PARTIAL = 2  # reduction partial arriving at a tree node
-
-# Task kinds.
-_T_SAAC = 0   # ScaleAndAccumCol: a run of FMACs against a column segment
-_T_ADD = 1    # merge one incoming reduction partial
-_T_MUL = 2    # solve x_i = (b_i - acc) * (1/d_i)
-_T_SEND = 3   # push one value into the router
-
-# Task layout: [arrival_time, kind, payload..., hazard_row].  Index 6
-# always holds the row whose accumulator gates the task's *current*
-# operation (a dummy row ``n`` with permanently-zero ready time for
-# Sends), so the batched engine's selection scan reads one uniform
-# ``acc[task[6]]`` with no per-kind branching.  The reference engine
-# ignores the slot.
-_TASK_HAZARD = 6
-
-#: Sentinel "never" time (must exceed any reachable cycle count).
-_BIG = 1 << 62
-
-#: Remaining-run length at which the batched engine switches from the
-#: scalar recurrence to the numpy closed form.
-_VEC_THRESHOLD = 12
+from repro.sim.state import T_MUL, T_SAAC, T_SEND, KernelState
 
 #: Environment variable selecting the per-op golden engine.
 REFERENCE_ENV = "AZUL_SIM_REFERENCE"
@@ -83,72 +43,18 @@ def _env_wants_reference() -> bool:
     return value.strip().lower() not in ("", "0", "false", "no", "off")
 
 
-class _Tile:
-    """Mutable per-tile simulation state (reference engine)."""
-
-    __slots__ = (
-        "tasks", "pe_time", "acc_ready", "busy", "op_counts",
-        "next_pump",
-    )
-
-    def __init__(self):
-        self.tasks = []
-        self.pe_time = 0
-        self.acc_ready = {}
-        self.busy = 0
-        self.op_counts = [0, 0, 0, 0]  # FMAC, ADD, MUL, SEND
-        self.next_pump = None
-
-
-class _BatchedTile(_Tile):
-    """Tile state with dense per-row accumulators (batched engine).
-
-    ``acc_ready``/``partial`` are dense per-row Python lists — scalar
-    reads/writes in the issue loop cost a plain list index instead of a
-    numpy scalar round-trip, which dominates the hot path at the small
-    run lengths real mapped matrices produce.  ``local_rem`` mirrors
-    ``program.local_counts`` for this tile (``None`` when the tile
-    holds no matrix nonzeros).
-    """
-
-    __slots__ = ("partial", "local_rem")
-
-    def __init__(self, n: int, local_rem):
-        super().__init__()
-        # One extra slot: row ``n`` is the *dummy hazard row* named by
-        # Send tasks' ``_TASK_HAZARD`` field.  It is never written, so
-        # ``acc_ready[task[6]]`` is branch-free across task kinds.
-        self.acc_ready = [0] * (n + 1)
-        self.partial = [0.0] * n
-        self.local_rem = local_rem
-
-
 @dataclass
 class KernelResult:
     """Outcome of simulating one kernel.
 
-    Attributes
-    ----------
-    name:
-        Kernel name.
-    cycles:
-        Completion time of the kernel (last row finished / op retired).
-    output:
-        The computed result vector (``y`` for SpMV, ``x`` for SpTRSV).
-    op_counts:
-        Executed operations by kind: ``fmac``, ``add``, ``mul``,
-        ``send``.
-    busy_slots:
-        Total issue slots consumed across all PEs.
-    link_activations:
-        Total link traversals.
-    per_link:
-        Activations per directed link ``(src_tile, dst_tile)``.
-    spills:
-        Messages that overflowed the register buffer into the Data SRAM.
-    issue_trace:
-        When recording was requested: one ``(cycle, tile, op_kind)``
-        tuple per issued operation, for timeline/heatmap analysis.
+    ``cycles`` is the completion time; ``output`` the computed result
+    vector (``y`` for SpMV, ``x`` for SpTRSV); ``op_counts`` executed
+    operations by kind (``fmac``/``add``/``mul``/``send``);
+    ``busy_slots`` issue slots consumed across all PEs; ``per_link``
+    activations per directed link; ``spills`` messages that overflowed
+    the register buffer into the Data SRAM; ``issue_trace`` (when
+    recording was requested) one ``(cycle, tile, op_kind)`` tuple per
+    issued operation, for timeline/heatmap analysis.
     """
 
     name: str
@@ -159,23 +65,22 @@ class KernelResult:
     link_activations: int
     per_link: Dict[Tuple[int, int], int] = field(default_factory=dict)
     spills: int = 0
-    #: Total cycles flits waited for busy links (congestion measure).
+    #: Total cycles flits waited for busy links (congestion measure)
     link_queue_delay: int = 0
     issue_trace: Optional[List[Tuple[int, int, int]]] = None
 
     def flops(self) -> int:
-        """FLOPs executed, including distribution overhead Adds.
+        """FLOPs executed, including distribution-overhead Adds.
 
-        Note: reported GFLOP/s uses the *algorithmic* FLOP count
-        (mapping-independent); this counter additionally includes the
-        standalone Adds that inter-tile reductions introduce.
+        Reported GFLOP/s uses the *algorithmic* FLOP count; this
+        counter additionally includes the standalone Adds that
+        inter-tile reductions introduce.
         """
         return (
             2 * self.op_counts["fmac"]
             + self.op_counts["add"]
             + self.op_counts["mul"]
         )
-
 
 class KernelSimulator:
     """Simulates one kernel program on the configured machine.
@@ -185,28 +90,69 @@ class KernelSimulator:
     :class:`ReferenceKernelSimulator` when ``engine="reference"`` or
     the ``AZUL_SIM_REFERENCE`` environment variable is truthy.  The
     subclasses can also be constructed explicitly (e.g. for
-    equivalence testing).
+    equivalence testing); they differ *only* in the issue strategy
+    they select.
     """
 
-    def __new__(cls, program: KernelProgram, torus: TorusGeometry,
-                config: AzulConfig, pe: PEModel,
+    #: Issue-strategy name pinned by the engine subclasses.
+    engine_name: Optional[str] = None
+
+    def __new__(cls, program: KernelProgram, geometry=None,
+                config: Optional[AzulConfig] = None,
+                pe: Optional[PEModel] = None,
                 record_issue_trace: bool = False,
                 engine: Optional[str] = None):
         if cls is KernelSimulator:
             cls = _resolve_engine(engine)
         return object.__new__(cls)
 
-    def __init__(self, program: KernelProgram, torus: TorusGeometry,
+    def __init__(self, program: KernelProgram, geometry,
                  config: AzulConfig, pe: PEModel,
                  record_issue_trace: bool = False,
                  engine: Optional[str] = None):
         self.program = program
-        self.torus = torus
+        self.geometry = geometry
+        #: Backwards-compatible alias (the paper machine is a torus).
+        self.torus = geometry
         self.config = config
         self.pe = pe
         self.record_issue_trace = record_issue_trace
-        self._alu_latency = config.sram_access_cycles + config.fmac_latency_cycles
-        self._send_latency = config.sram_access_cycles + 1
+        self.alu_latency = (
+            config.sram_access_cycles + config.fmac_latency_cycles
+        )
+        self.send_latency = config.sram_access_cycles + 1
+        self._ideal = pe.is_ideal
+        name = self.engine_name
+        if name is None:  # pragma: no cover - subclasses always pin it
+            name = engine or (
+                "reference" if _env_wants_reference() else "batched"
+            )
+        self.issue = resolve_strategy(name)()
+        # Shared static structures (engine-independent, built once).
+        # Column segments as plain Python lists: scalar ``rows[pos]`` /
+        # ``vals[pos]`` reads are then native ints/floats.  ``tolist``
+        # preserves the exact IEEE-754 values.
+        self._segments = {
+            tile: {
+                j: (seg[0].tolist(), seg[1].tolist())
+                for j, seg in segments.items()
+            }
+            for tile, segments in program.col_segments.items()
+        }
+        # Flattened multicast routing (one dict probe per arrival); the
+        # destination payload is the triggered column segment, if any.
+        self._mcast_plan, self.mcast_send = flatten_multicast_plan(
+            program.mcast_trees, self._segment_at,
+        )
+        self._vec_tile_list = program.vec_tile.tolist()
+        # Dummy hazard row (see ``state.TASK_HAZARD``): Sends gate on
+        # nothing, so they point at accumulator slot ``n`` which stays
+        # 0 forever.
+        self._dummy_row = int(program.n)
+
+    def _segment_at(self, node: int, j: int):
+        segments = self._segments.get(node)
+        return None if segments is None else segments.get(j)
 
     # ------------------------------------------------------------------
     def run(self, x=None, b=None) -> KernelResult:
@@ -217,31 +163,22 @@ class KernelSimulator:
         """
         program = self.program
         n = program.n
-        self._events = []
-        self._seq = 0
-        self._tiles = {}
-        self._link_free = {}
-        self._per_link = {}
-        self._link_count = 0
-        self._queue_delay = 0
-        self._spills = 0
-        self._end_time = 0
-
-        self._issue_trace = [] if self.record_issue_trace else None
-        self._node_remaining = {}   # (row, tile) -> pending inputs
-        self._rows_done = 0
-        self._output = np.zeros(n)
+        config = self.config
+        self.events = EventQueue()
+        self.state = KernelState(
+            n, program.local_counts, config.msg_buffer_entries,
+            2 * config.sram_access_cycles,
+        )
+        self.fabric = LinkFabric(self.events, config.hop_cycles)
+        self.issue_trace = [] if self.record_issue_trace else None
         self._b = None if b is None else np.asarray(b, dtype=np.float64)
         self._x = (
             np.asarray(x, dtype=np.float64) if x is not None
             else np.zeros(n)
         )
-        #: Column segments as looked up by the issue paths; the batched
-        #: engine swaps in a list-backed copy in _reset_numeric_state.
-        self._col_segments = program.col_segments
-        self._reset_numeric_state()
+        self.state.init_node_remaining(program)
+        self.issue.bind(self)
 
-        self._init_node_remaining()
         if program.dependent:
             if self._b is None:
                 raise SimulationError("SpTRSV simulation requires b")
@@ -251,23 +188,25 @@ class KernelSimulator:
                 raise SimulationError("SpMV simulation requires x")
             self._init_spmv()
 
-        self._drain()
+        drain(self.events, self.issue.pump, self._handle_mcast,
+              self._handle_partial)
 
-        if self._rows_done != n:
+        state = self.state
+        if state.rows_done != n:
             raise SimulationError(
-                f"{program.name}: deadlock — only {self._rows_done}/{n} "
+                f"{program.name}: deadlock — only {state.rows_done}/{n} "
                 "rows completed"
             )
-        op_totals = [0, 0, 0, 0]
-        busy = 0
-        for tile in self._tiles.values():
-            busy += tile.busy
-            for k in range(4):
-                op_totals[k] += tile.op_counts[k]
+        op_totals, busy = state.op_totals()
+        fabric = self.fabric
+        cycles = (
+            state.end_time if state.end_time >= fabric.last_arrival
+            else fabric.last_arrival
+        )
         return KernelResult(
             name=program.name,
-            cycles=self._end_time,
-            output=self._output,
+            cycles=cycles,
+            output=state.output,
             op_counts={
                 "fmac": op_totals[0],
                 "add": op_totals[1],
@@ -275,545 +214,108 @@ class KernelSimulator:
                 "send": op_totals[3],
             },
             busy_slots=busy,
-            link_activations=self._link_count,
-            per_link=self._per_link,
-            spills=self._spills,
-            link_queue_delay=self._queue_delay,
-            issue_trace=self._issue_trace,
+            link_activations=fabric.link_count,
+            per_link=fabric.per_link,
+            spills=state.spills,
+            link_queue_delay=fabric.queue_delay,
+            issue_trace=self.issue_trace,
         )
-
-    # ------------------------------------------------------------------
-    # Engine-specific numeric state
-    # ------------------------------------------------------------------
-    def _reset_numeric_state(self):
-        self._partial = {}          # (tile, row) -> accumulated value
-        self._local_remaining = dict(self.program.local_counts)
-
-    def _partial_value(self, tile_id, row) -> float:
-        """Current accumulated partial for ``row`` on ``tile_id``."""
-        return self._partial.get((tile_id, row), 0.0)
 
     # ------------------------------------------------------------------
     # Initialization
     # ------------------------------------------------------------------
-    def _init_node_remaining(self):
-        """Expected inputs at every reduction-tree node and every home."""
-        program = self.program
-        local = program.local_counts
-        for i in range(program.n):
-            home = int(program.vec_tile[i])
-            tree = program.red_trees.get(i)
-            if tree is None:
-                self._node_remaining[(i, home)] = (
-                    1 if (home, i) in local else 0
-                )
-                continue
-            children = {}
-            for child, parent in tree.edges:
-                children[parent] = children.get(parent, 0) + 1
-            nodes = {home}
-            nodes.update(tree.parent)
-            for node in nodes:
-                expected = children.get(node, 0)
-                if (node, i) in local:
-                    expected += 1
-                self._node_remaining[(i, node)] = expected
-
-    def _init_spmv(self):
+    def _init_spmv(self) -> None:
         """Distribute input-vector values at time zero (SendV tasks)."""
         program = self.program
+        state = self.state
+        enqueue = state.enqueue
+        vec_tile = self._vec_tile_list
+        x = self._x
+        dummy = self._dummy_row
         for j in range(program.n):
-            home = int(program.vec_tile[j])
-            value = float(self._x[j])
-            segment = self._col_segments.get(home, {}).get(j)
+            home = vec_tile[j]
+            value = float(x[j])
+            segment = self._segment_at(home, j)
             if segment is not None:
-                self._enqueue(home, [0, _T_SAAC, segment[0], segment[1],
-                                     value, 0, segment[0][0]])
+                enqueue(home, [0, T_SAAC, segment[0], segment[1],
+                               value, 0, segment[0][0]])
             for tree_index in range(len(program.mcast_trees.get(j, ()))):
-                self._enqueue(
-                    home,
-                    [0, _T_SEND, ("mcast", j, value, tree_index),
-                     0, 0, 0, program.n],
-                )
+                enqueue(home, [0, T_SEND, ("mcast", j, value, tree_index),
+                               0, 0, 0, dummy])
         # Rows with no pending inputs complete immediately (y_i = 0 or
         # purely-local rows start from their FMACs).
+        node_remaining = state.node_remaining
         for i in range(program.n):
-            home = int(program.vec_tile[i])
-            if self._node_remaining[(i, home)] == 0:
+            if node_remaining[(i, vec_tile[i])] == 0:
                 self._row_complete(i, 0)
         self._flush_pumps()
 
-    def _init_sptrsv(self):
+    def _init_sptrsv(self) -> None:
         """Schedule dependence-free rows for solving at time zero."""
         program = self.program
+        node_remaining = self.state.node_remaining
+        vec_tile = self._vec_tile_list
         for i in range(program.n):
-            home = int(program.vec_tile[i])
-            if self._node_remaining[(i, home)] == 0:
-                self._enqueue(home, [0, _T_MUL, i, 0, 0, 0, i])
+            home = vec_tile[i]
+            if node_remaining[(i, home)] == 0:
+                self.state.enqueue(home, [0, T_MUL, i, 0, 0, 0, i])
         self._flush_pumps()
 
-    def _flush_pumps(self):
-        for tile_id in list(self._tiles):
+    def _flush_pumps(self) -> None:
+        for tile_id in list(self.state.tiles):
             self._schedule_pump(tile_id, 0)
 
     # ------------------------------------------------------------------
-    # Event machinery
+    # Shared control path (event scheduling + completion logic; the
+    # single copy both issue strategies call back into)
     # ------------------------------------------------------------------
-    def _push(self, time, kind, payload):
-        heapq.heappush(self._events, (time, self._seq, kind, payload))
-        self._seq += 1
-
-    def _drain(self):
-        while self._events:
-            time, _, kind, payload = heapq.heappop(self._events)
-            if kind == _EV_PUMP:
-                tile_id = payload
-                tile = self._tiles[tile_id]
-                if tile.next_pump != time:
-                    continue  # stale: a different pump is now scheduled
-                tile.next_pump = None
-                self._pump(tile_id, time)
-            elif kind == _EV_MCAST:
-                node, j, value, tree_index = payload
-                self._on_mcast_arrival(node, j, value, time, tree_index)
-            else:
-                node, row, value = payload
-                self._enqueue(node, [time, _T_ADD, row, value, 0, 0, row])
-                self._schedule_pump(node, time)
-
-    def _tile(self, tile_id) -> _Tile:
-        tile = self._tiles.get(tile_id)
-        if tile is None:
-            tile = self._make_tile(tile_id)
-            self._tiles[tile_id] = tile
-        return tile
-
-    def _make_tile(self, tile_id) -> _Tile:
-        return _Tile()
-
-    def _enqueue(self, tile_id, task):
-        """Append a task to a tile, modeling message-buffer spills."""
-        tile = self._tile(tile_id)
-        if len(tile.tasks) >= self.config.msg_buffer_entries:
-            self._spills += 1
-            task[0] += 2 * self.config.sram_access_cycles
-        tile.tasks.append(task)
-
-    def _schedule_pump(self, tile_id, time):
-        tile = self._tile(tile_id)
-        if not self.pe.is_ideal and tile.pe_time > time:
+    def _schedule_pump(self, tile_id: int, time: int) -> None:
+        tile = self.state.tile(tile_id)
+        if not self._ideal and tile.pe_time > time:
             # Nothing can issue before the PE's next free slot anyway.
             time = tile.pe_time
-        if tile.next_pump is None or time < tile.next_pump:
+        nxt = tile.next_pump
+        if nxt is None or time < nxt:
             tile.next_pump = time
-            self._push(time, _EV_PUMP, tile_id)
+            self.events.push(time, EV_PUMP, tile_id)
 
-    # ------------------------------------------------------------------
-    # PE issue (reference, operation-granularity path)
-    # ------------------------------------------------------------------
-    def _op_ready_time(self, tile: _Tile, task) -> int:
-        """Earliest cycle the task's current operation can issue."""
-        kind = task[1]
-        ready = max(task[0], tile.pe_time)
-        if kind == _T_SAAC:
-            row = int(task[2][task[5]])
-            return max(ready, tile.acc_ready.get(row, 0))
-        if kind == _T_ADD:
-            return max(ready, tile.acc_ready.get(task[2], 0))
-        if kind == _T_MUL:
-            return max(ready, tile.acc_ready.get(task[2], 0))
-        return ready  # SEND
-
-    def _pump(self, tile_id, now):
-        """Issue every operation that can start at ``now``."""
-        tile = self._tiles[tile_id]
-        pe = self.pe
-        limit = pe.thread_contexts if pe.multithreaded else 1
-        while tile.tasks:
-            tasks = tile.tasks
-            window = limit if limit < len(tasks) else len(tasks)
-            best_index = 0
-            best_time = self._op_ready_time(tile, tasks[0])
-            for index in range(1, window):
-                ready = self._op_ready_time(tile, tasks[index])
-                if ready < best_time:
-                    best_time = ready
-                    best_index = index
-            if best_time > now:
-                self._schedule_pump(tile_id, best_time)
-                return
-            self._issue(tile_id, tile, tasks[best_index], best_index,
-                        best_time)
-            if not pe.is_ideal and tile.tasks:
-                # One issue slot consumed; revisit at the next free cycle.
-                self._schedule_pump(tile_id, tile.pe_time)
-                return
-
-    def _issue(self, tile_id, tile: _Tile, task, task_index, issue_time):
-        """Execute one operation of ``task`` at ``issue_time``."""
-        kind = task[1]
-        tile.busy += self.pe.issue_cycles
-        if self._issue_trace is not None:
-            self._issue_trace.append((issue_time, tile_id, kind))
-        if not self.pe.is_ideal:
-            tile.pe_time = issue_time + self.pe.issue_cycles
-
-        if kind == _T_SAAC:
-            rows, vals, xval, pos = task[2], task[3], task[4], task[5]
-            row = int(rows[pos])
-            completion = issue_time + self._alu_latency
-            tile.op_counts[OpKind.FMAC] += 1
-            tile.acc_ready[row] = completion
-            key = (tile_id, row)
-            self._partial[key] = self._partial.get(key, 0.0) + xval * vals[pos]
-            task[5] += 1
-            if task[5] >= len(rows):
-                del tile.tasks[task_index]
-            remaining = self._local_remaining[key] - 1
-            self._local_remaining[key] = remaining
-            if remaining == 0:
-                self._node_input_done(row, tile_id, completion)
-        elif kind == _T_ADD:
-            row, value = task[2], task[3]
-            completion = issue_time + self._alu_latency
-            tile.op_counts[OpKind.ADD] += 1
-            tile.acc_ready[row] = completion
-            key = (tile_id, row)
-            self._partial[key] = self._partial.get(key, 0.0) + value
-            del tile.tasks[task_index]
-            self._node_input_done(row, tile_id, completion)
-        elif kind == _T_MUL:
-            row = task[2]
-            completion = issue_time + self._alu_latency
-            tile.op_counts[OpKind.MUL] += 1
-            del tile.tasks[task_index]
-            self._solve_row(row, tile_id, completion)
-        else:  # _T_SEND
-            payload = task[2]
-            completion = issue_time + self._send_latency
-            tile.op_counts[OpKind.SEND] += 1
-            del tile.tasks[task_index]
-            if payload[0] == "mcast":
-                _, j, value, tree_index = payload
-                tree = self.program.mcast_trees[j][tree_index]
-                self._forward_mcast(tree, tree.root, j, value, completion,
-                                    tree_index)
-            else:
-                _, row, value, parent = payload
-                self._traverse_link(tile_id, parent, completion,
-                                    _EV_PARTIAL, (parent, row, value))
-        self._end_time = max(self._end_time, completion)
-
-    # ------------------------------------------------------------------
-    # Network
-    # ------------------------------------------------------------------
-    def _traverse_link(self, src, dst, time, event_kind, payload):
-        """Serialize a flit onto a link and schedule its arrival."""
-        link = (src, dst)
-        depart = max(time, self._link_free.get(link, 0))
-        self._queue_delay += depart - time
-        self._link_free[link] = depart + 1
-        self._per_link[link] = self._per_link.get(link, 0) + 1
-        self._link_count += 1
-        arrival = depart + self.config.hop_cycles
-        self._push(arrival, event_kind, payload)
-        self._end_time = max(self._end_time, arrival)
-
-    def _forward_mcast(self, tree, node, j, value, time, tree_index):
-        """Router-side fork of a multicast at ``node``."""
-        for child in tree.children.get(node, ()):
-            self._traverse_link(node, child, time, _EV_MCAST,
-                                (child, j, value, tree_index))
-
-    def _on_mcast_arrival(self, node, j, value, time, tree_index):
-        """A multicast value reached ``node``: forward and trigger work."""
-        tree = self.program.mcast_trees[j][tree_index]
-        self._forward_mcast(tree, node, j, value, time, tree_index)
-        if node not in tree.destinations:
-            return
-        segment = self._col_segments.get(node, {}).get(j)
-        if segment is not None:
-            self._enqueue(node, [time, _T_SAAC, segment[0], segment[1],
-                                 value, 0, segment[0][0]])
-            self._schedule_pump(node, time)
-
-    # ------------------------------------------------------------------
-    # Reduction / completion logic
-    # ------------------------------------------------------------------
-    def _node_input_done(self, row, node, time):
-        """One expected input of reduction node ``(row, node)`` merged."""
-        key = (row, node)
-        remaining = self._node_remaining[key] - 1
-        self._node_remaining[key] = remaining
-        if remaining > 0:
-            return
-        home = int(self.program.vec_tile[row])
-        if node == home:
-            self._row_complete(row, time)
-        else:
-            tree = self.program.red_trees[row]
-            parent = tree.parent[node]
-            value = self._partial_value(node, row)
-            self._enqueue(node, [time, _T_SEND,
-                                 ("partial", row, value, parent),
-                                 0, 0, 0, self.program.n])
-            self._schedule_pump(node, time)
-
-    def _row_complete(self, row, time):
-        """All of row ``row``'s inputs reached its home tile."""
-        program = self.program
-        home = int(program.vec_tile[row])
-        if program.dependent:
-            self._enqueue(home, [time, _T_MUL, row, 0, 0, 0, row])
-            self._schedule_pump(home, time)
-        else:
-            self._output[row] = self._partial_value(home, row)
-            self._rows_done += 1
-            self._end_time = max(self._end_time, time)
-
-    def _solve_row(self, row, home, completion):
-        """SpTRSV: produce ``x_row`` and distribute it down the column."""
-        program = self.program
-        acc = self._partial_value(home, row)
-        value = (self._b[row] - acc) * program.inv_diag[row]
-        self._output[row] = value
-        self._rows_done += 1
-        segment = self._col_segments.get(home, {}).get(row)
-        if segment is not None:
-            self._enqueue(home, [completion, _T_SAAC, segment[0],
-                                 segment[1], value, 0, segment[0][0]])
-        for tree_index in range(len(program.mcast_trees.get(row, ()))):
-            self._enqueue(home, [completion, _T_SEND,
-                                 ("mcast", row, value, tree_index),
-                                 0, 0, 0, program.n])
-        self._schedule_pump(home, completion)
-
-
-class ReferenceKernelSimulator(KernelSimulator):
-    """The original operation-granularity engine (golden model).
-
-    Every FMAC/ADD/MUL/SEND makes a full heap round-trip, so events map
-    1:1 onto the hardware description.  Selected by
-    ``engine="reference"`` or ``AZUL_SIM_REFERENCE=1``.
-    """
-
-
-class BatchedKernelSimulator(KernelSimulator):
-    """Run-granularity engine: batches column-segment runs exactly.
-
-    Exactness argument (mirrored by ``tests/test_engine_equivalence.py``):
-
-    * **Horizon** ``h`` — the earliest pending heap event.  While the
-      next issue time is strictly below ``h`` no external event (message
-      arrival, other tile's pump) could have interposed in the reference
-      engine, so the pump keeps going inline instead of bouncing through
-      the heap.  Ideal PEs additionally issue everything ready at the
-      current pump time regardless of the heap, exactly like the
-      reference loop.
-    * **Window competition** — a batched SAAC run continues only while
-      its next op's issue time stays strictly below every *other*
-      window task's hazard floor ``max(task_time, acc_ready[row])``.
-      Accumulator-ready times only grow, so floors computed at batch
-      start remain valid; ties conservatively end the batch and defer
-      to the exact selection scan.
-    * **Triggers** — the first op whose last local contribution lands
-      (``local_rem`` hits zero) ends the batch, because its
-      ``_node_input_done`` side effect can enqueue work and push events.
-    * **Numerics** — rows within a run are distinct, so the vectorized
-      ``partial[rows] += xval * vals`` performs the identical IEEE-754
-      operations in the identical order as the per-op reference.
-    """
-
-    # ------------------------------------------------------------------
-    def __init__(self, program: KernelProgram, torus: TorusGeometry,
-                 config: AzulConfig, pe: PEModel,
-                 record_issue_trace: bool = False,
-                 engine: Optional[str] = None):
-        super().__init__(program, torus, config, pe,
-                         record_issue_trace=record_issue_trace,
-                         engine=engine)
-        # Engine-constant parameters, cached as plain attributes so the
-        # hot loops never chase properties or nested config objects.
-        self._ic = pe.issue_cycles
-        self._ideal = pe.is_ideal
-        self._limit = pe.thread_contexts if pe.multithreaded else 1
-        self._msgbuf = config.msg_buffer_entries
-        self._spill_pen = 2 * config.sram_access_cycles
-        self._hop = config.hop_cycles
-        self._vec_tile_list = program.vec_tile.tolist()
-        # Column segments as plain Python lists: scalar ``rows[pos]`` /
-        # ``vals[pos]`` reads are then native ints/floats.  ``tolist``
-        # preserves the exact IEEE-754 values.
-        self._segments_lists = {
-            tile: {
-                j: (seg[0].tolist(), seg[1].tolist())
-                for j, seg in segments.items()
-            }
-            for tile, segments in program.col_segments.items()
-        }
-        # Flattened multicast routing: (j, tree_index, node) -> (children
-        # tuple, triggered column segment or None), plus the root fork
-        # used by Send ops.  One dict probe replaces the tree-attribute
-        # chase, set membership, and nested segment lookup per arrival.
-        plan: Dict[Tuple[int, int, int],
-                   Tuple[tuple, Optional[tuple]]] = {}
-        send_plan: Dict[Tuple[int, int], Tuple[int, tuple]] = {}
-        for j, trees in program.mcast_trees.items():
-            for tree_index, tree in enumerate(trees):
-                nodes = set(tree.children)
-                for childs in tree.children.values():
-                    nodes.update(childs)
-                nodes.add(tree.root)
-                for node in nodes:
-                    segment = None
-                    if node in tree.destinations:
-                        segments = self._segments_lists.get(node)
-                        if segments is not None:
-                            segment = segments.get(j)
-                    plan[(j, tree_index, node)] = (
-                        tuple(tree.children.get(node, ())), segment,
-                    )
-                send_plan[(j, tree_index)] = (
-                    tree.root, tuple(tree.children.get(tree.root, ())),
-                )
-        self._mcast_plan = plan
-        self._mcast_send = send_plan
-        # Dummy hazard row (see ``_TASK_HAZARD``): Sends gate on nothing,
-        # so they point at accumulator slot ``n`` which stays 0 forever.
-        self._dummy_row = int(program.n)
-
-    def _reset_numeric_state(self):
-        by_tile: Dict[int, List[int]] = {}
-        n = self.program.n
-        for (tile_id, row), count in self.program.local_counts.items():
-            rem = by_tile.get(tile_id)
-            if rem is None:
-                rem = [0] * n
-                by_tile[tile_id] = rem
-            rem[row] = count
-        self._local_by_tile = by_tile
-        self._col_segments = self._segments_lists
-
-    def _make_tile(self, tile_id) -> _Tile:
-        return _BatchedTile(self.program.n,
-                            self._local_by_tile.get(tile_id))
-
-    def _partial_value(self, tile_id, row) -> float:
-        tile = self._tiles.get(tile_id)
-        if tile is None:
-            return 0.0
-        return tile.partial[row]
-
-    # ------------------------------------------------------------------
-    # Event machinery (same semantics as the base class, with the
-    # per-event constant lookups hoisted).
-    # ------------------------------------------------------------------
-    def _drain(self):
-        events = self._events
-        pop = heapq.heappop
-        tiles = self._tiles
-        pump = self._pump
-        arrival = self._on_mcast_arrival
-        enqueue_pump = self._enqueue_and_pump
-        while events:
-            time, _, kind, payload = pop(events)
-            if kind == _EV_PUMP:
-                tile = tiles[payload]
-                if tile.next_pump != time:
-                    continue  # stale: a different pump is now scheduled
-                tile.next_pump = None
-                pump(payload, time)
-            elif kind == _EV_MCAST:
-                node, j, value, tree_index = payload
-                arrival(node, j, value, time, tree_index)
-            else:
-                node, row, value = payload
-                enqueue_pump(node, [time, _T_ADD, row, value, 0, 0, row],
-                             time)
-
-    def _enqueue_and_pump(self, tile_id, task, time):
-        """Fused ``_enqueue`` + ``_schedule_pump`` (one tile fetch)."""
-        tiles = self._tiles
-        tile = tiles.get(tile_id)
-        if tile is None:
-            tile = self._make_tile(tile_id)
-            tiles[tile_id] = tile
-        tasks = tile.tasks
-        if len(tasks) >= self._msgbuf:
-            self._spills += 1
-            task[0] += self._spill_pen
-        tasks.append(task)
+    def _enqueue_and_pump(self, tile_id: int, task: list,
+                          time: int) -> None:
+        """Fused enqueue + pump scheduling (one tile fetch)."""
+        tile = self.state.enqueue(tile_id, task)
         if not self._ideal and tile.pe_time > time:
             time = tile.pe_time
         nxt = tile.next_pump
         if nxt is None or time < nxt:
             tile.next_pump = time
-            heapq.heappush(self._events, (time, self._seq, _EV_PUMP,
-                                          tile_id))
-            self._seq += 1
+            self.events.push(time, EV_PUMP, tile_id)
 
-    def _enqueue(self, tile_id, task):
-        tiles = self._tiles
-        tile = tiles.get(tile_id)
-        if tile is None:
-            tile = self._make_tile(tile_id)
-            tiles[tile_id] = tile
-        tasks = tile.tasks
-        if len(tasks) >= self._msgbuf:
-            self._spills += 1
-            task[0] += self._spill_pen
-        tasks.append(task)
-
-    def _schedule_pump(self, tile_id, time):
-        tiles = self._tiles
-        tile = tiles.get(tile_id)
-        if tile is None:
-            tile = self._make_tile(tile_id)
-            tiles[tile_id] = tile
-        if not self._ideal and tile.pe_time > time:
-            time = tile.pe_time
-        nxt = tile.next_pump
-        if nxt is None or time < nxt:
-            tile.next_pump = time
-            heapq.heappush(self._events, (time, self._seq, _EV_PUMP,
-                                          tile_id))
-            self._seq += 1
-
-    def _traverse_link(self, src, dst, time, event_kind, payload):
-        link = (src, dst)
-        link_free = self._link_free
-        depart = link_free.get(link, 0)
-        if depart < time:
-            depart = time
-        else:
-            self._queue_delay += depart - time
-        link_free[link] = depart + 1
-        per_link = self._per_link
-        per_link[link] = per_link.get(link, 0) + 1
-        self._link_count += 1
-        arrival = depart + self._hop
-        heapq.heappush(self._events, (arrival, self._seq, event_kind,
-                                      payload))
-        self._seq += 1
-        if arrival > self._end_time:
-            self._end_time = arrival
-
-    def _on_mcast_arrival(self, node, j, value, time, tree_index):
+    def _handle_mcast(self, payload, time: int) -> None:
+        """A multicast value reached a node: forward and trigger work."""
+        node, j, value, tree_index = payload
         children, segment = self._mcast_plan[(j, tree_index, node)]
         if children:
-            traverse = self._traverse_link
+            traverse = self.fabric.traverse
             for child in children:
-                traverse(node, child, time, _EV_MCAST,
+                traverse(node, child, time, 1,  # EV_MCAST
                          (child, j, value, tree_index))
         if segment is not None:
             self._enqueue_and_pump(
-                node, [time, _T_SAAC, segment[0], segment[1], value, 0,
+                node, [time, T_SAAC, segment[0], segment[1], value, 0,
                        segment[0][0]],
                 time,
             )
 
-    def _node_input_done(self, row, node, time):
-        remaining_map = self._node_remaining
+    def _handle_partial(self, payload, time: int) -> None:
+        """A reduction partial arrived: merge via a standalone Add."""
+        node, row, value = payload
+        self._enqueue_and_pump(node, [time, 1, row, value, 0, 0, row],
+                               time)  # T_ADD
+
+    def _node_input_done(self, row: int, node: int, time: int) -> None:
+        """One expected input of reduction node ``(row, node)`` merged."""
+        state = self.state
+        remaining_map = state.node_remaining
         key = (row, node)
         remaining = remaining_map[key] - 1
         remaining_map[key] = remaining
@@ -824,445 +326,78 @@ class BatchedKernelSimulator(KernelSimulator):
             self._row_complete(row, time)
         else:
             parent = self.program.red_trees[row].parent[node]
-            tile = self._tiles.get(node)
+            tile = state.tiles.get(node)
             value = 0.0 if tile is None else tile.partial[row]
             self._enqueue_and_pump(
-                node, [time, _T_SEND, ("partial", row, value, parent),
+                node, [time, T_SEND, ("partial", row, value, parent),
                        0, 0, 0, self._dummy_row],
                 time,
             )
 
-    def _row_complete(self, row, time):
+    def _row_complete(self, row: int, time: int) -> None:
+        """All of row ``row``'s inputs reached its home tile."""
         home = self._vec_tile_list[row]
+        state = self.state
         if self.program.dependent:
-            self._enqueue_and_pump(home, [time, _T_MUL, row, 0, 0, 0, row],
+            self._enqueue_and_pump(home, [time, T_MUL, row, 0, 0, 0, row],
                                    time)
         else:
-            tile = self._tiles.get(home)
-            self._output[row] = 0.0 if tile is None else tile.partial[row]
-            self._rows_done += 1
-            if time > self._end_time:
-                self._end_time = time
+            tile = state.tiles.get(home)
+            state.output[row] = 0.0 if tile is None else tile.partial[row]
+            state.rows_done += 1
+            if time > state.end_time:
+                state.end_time = time
 
-    def _solve_row(self, row, home, completion):
+    def _solve_row(self, row: int, home: int, completion: int) -> None:
+        """SpTRSV: produce ``x_row`` and distribute it down the column."""
         program = self.program
-        tile = self._tiles.get(home)
+        state = self.state
+        tile = state.tiles.get(home)
         acc = 0.0 if tile is None else tile.partial[row]
         # ``float()`` keeps the produced value a native float (the bits
         # are unchanged) so downstream FMACs avoid numpy scalar math.
         value = float((self._b[row] - acc) * program.inv_diag[row])
-        self._output[row] = value
-        self._rows_done += 1
-        segments = self._col_segments.get(home)
-        segment = None if segments is None else segments.get(row)
+        state.output[row] = value
+        state.rows_done += 1
+        segment = self._segment_at(home, row)
         if segment is not None:
-            self._enqueue(home, [completion, _T_SAAC, segment[0],
+            state.enqueue(home, [completion, T_SAAC, segment[0],
                                  segment[1], value, 0, segment[0][0]])
         for tree_index in range(len(program.mcast_trees.get(row, ()))):
-            self._enqueue(home, [completion, _T_SEND,
+            state.enqueue(home, [completion, T_SEND,
                                  ("mcast", row, value, tree_index),
                                  0, 0, 0, self._dummy_row])
         self._schedule_pump(home, completion)
 
-    # ------------------------------------------------------------------
-    def _issue(self, tile_id, tile, task, task_index, issue_time):
-        """Non-SAAC issue (SAAC goes through ``_issue_saac_batch``)."""
-        kind = task[1]
-        ic = self._ic
-        tile.busy += ic
-        if self._issue_trace is not None:
-            self._issue_trace.append((issue_time, tile_id, kind))
-        if not self._ideal:
-            tile.pe_time = issue_time + ic
-        if kind == _T_ADD:
-            row = task[2]
-            completion = issue_time + self._alu_latency
-            tile.op_counts[OpKind.ADD] += 1
-            tile.acc_ready[row] = completion
-            tile.partial[row] += task[3]
-            del tile.tasks[task_index]
-            if completion > self._end_time:
-                self._end_time = completion
-            self._node_input_done(row, tile_id, completion)
-        elif kind == _T_MUL:
-            row = task[2]
-            completion = issue_time + self._alu_latency
-            tile.op_counts[OpKind.MUL] += 1
-            del tile.tasks[task_index]
-            if completion > self._end_time:
-                self._end_time = completion
-            self._solve_row(row, tile_id, completion)
-        else:  # _T_SEND
-            payload = task[2]
-            completion = issue_time + self._send_latency
-            tile.op_counts[OpKind.SEND] += 1
-            del tile.tasks[task_index]
-            if completion > self._end_time:
-                self._end_time = completion
-            if payload[0] == "mcast":
-                _, j, value, tree_index = payload
-                root, children = self._mcast_send[(j, tree_index)]
-                if children:
-                    traverse = self._traverse_link
-                    for child in children:
-                        traverse(root, child, completion, _EV_MCAST,
-                                 (child, j, value, tree_index))
-            else:
-                _, row, value, parent = payload
-                self._traverse_link(tile_id, parent, completion,
-                                    _EV_PARTIAL, (parent, row, value))
 
-    # ------------------------------------------------------------------
-    def _pump(self, tile_id, now):
-        """Horizon-bounded pump: drains inline while no event intervenes.
+class ReferenceKernelSimulator(KernelSimulator):
+    """The per-op golden engine: composition root + ``PerOpIssue``."""
 
-        The single-op SAAC issue (the dominant case once the machine is
-        saturated and batches are horizon-bounded) is fully inlined
-        here; runs that can batch further go through
-        ``_issue_saac_batch``.
-        """
-        tile = self._tiles[tile_id]
-        ideal = self._ideal
-        limit = self._limit
-        ic = self._ic
-        alu = self._alu_latency
-        events = self._events
-        acc = tile.acc_ready
-        tasks = tile.tasks
-        partial = tile.partial
-        local_rem = tile.local_rem
-        op_counts = tile.op_counts
-        trace = self._issue_trace
-        while True:
-            n_tasks = len(tasks)
-            if not n_tasks:
-                return
-            h = events[0][0] if events else _BIG
-            window = limit if limit < n_tasks else n_tasks
-            # Inline selection, identical to the reference scan: the
-            # winner is the first strict minimum of
-            # ``ready = max(arrival, acc hazard, pe_time)``.  Ties go to
-            # the lowest index, so the first task whose hazard floor is
-            # at or below ``pe_time`` wins outright (``ready`` cannot
-            # drop below ``pe_time``) and the scan short-circuits.
-            pe_time = tile.pe_time
-            best_index = 0
-            best_ready = _BIG
-            index = 0
-            for task in tasks if window == n_tasks else tasks[:window]:
-                # Branch-free hazard read: slot ``_TASK_HAZARD`` always
-                # names the row whose accumulator gates the task's
-                # current op (Sends name the dummy row, stuck at 0).
-                m = acc[task[6]]
-                t = task[0]
-                if t > m:
-                    m = t
-                if m <= pe_time:
-                    best_index = index
-                    best_ready = pe_time
-                    break
-                if m < best_ready:
-                    best_ready = m
-                    best_index = index
-                index += 1
-            best_time = best_ready
-            if best_time > now:
-                if best_time >= h:
-                    # An event at or before best_time could change the
-                    # picture: yield to the heap (reference order).
-                    nxt = tile.next_pump
-                    if nxt is None or best_time < nxt:
-                        tile.next_pump = best_time
-                        heapq.heappush(events, (best_time, self._seq,
-                                                _EV_PUMP, tile_id))
-                        self._seq += 1
-                    return
-                # Fast-forward: nothing can intervene.  The reference
-                # would push a pump at best_time and pop it straight
-                # back (clearing ``next_pump``); mirror that state.
-                now = best_time
-                tile.next_pump = None
-            task = tasks[best_index]
-            if task[1] == 0:  # _T_SAAC
-                rows = task[2]
-                pos = task[5]
-                row0 = rows[pos]
-                trigger = local_rem[row0] == 1
-                p1 = pos + 1
-                # Probe whether a second run op could join the batch;
-                # if so, defer to the multi-op planner.  The heap
-                # horizon blocks extension in the vast majority of
-                # pumps, so the hazard floor of the losing window tasks
-                # (``other_floor``) is only computed once the cheap
-                # horizon gate has already passed.
-                if not trigger and p1 < len(rows):
-                    t0 = task[0]
-                    ready2 = acc[rows[p1]]
-                    if t0 > ready2:
-                        ready2 = t0
-                    if ideal:
-                        t1 = ready2
-                        gate = ready2 <= now or ready2 < h
-                    else:
-                        t1 = best_time + ic
-                        if ready2 > t1:
-                            t1 = ready2
-                        gate = t1 < h
-                    if gate:
-                        other_floor = _BIG
-                        k = 0
-                        for task2 in (tasks if window == n_tasks
-                                      else tasks[:window]):
-                            if k != best_index:
-                                m = acc[task2[6]]
-                                t = task2[0]
-                                if t > m:
-                                    m = t
-                                if m < other_floor:
-                                    other_floor = m
-                            k += 1
-                        if t1 < other_floor:
-                            now = self._issue_saac_batch(
-                                tile_id, tile, task, best_index,
-                                best_time, other_floor, h, now, t1,
-                            )
-                            if now < 0:
-                                return
-                            continue
-                # -- single-op issue, fully inline ---------------------
-                completion = best_time + alu
-                acc[row0] = completion
-                partial[row0] += task[4] * task[3][pos]
-                local_rem[row0] -= 1
-                op_counts[0] += 1
-                tile.busy += ic
-                if trace is not None:
-                    trace.append((best_time, tile_id, 0))
-                if p1 >= len(rows):
-                    del tasks[best_index]
-                else:
-                    task[5] = p1
-                    task[6] = rows[p1]
-                if not ideal:
-                    pe_time = best_time + ic
-                    tile.pe_time = pe_time
-                if completion > self._end_time:
-                    self._end_time = completion
-                if trigger:
-                    self._node_input_done(row0, tile_id, completion)
-                if ideal:
-                    # The reference ideal pump keeps draining within
-                    # one invocation.
-                    continue
-            else:
-                self._issue(tile_id, tile, task, best_index, best_time)
-                if ideal:
-                    # The reference ideal pump keeps draining within
-                    # one invocation (no heap round-trip, no next_pump
-                    # churn).
-                    continue
-                pe_time = tile.pe_time
-            if not tasks:
-                # Reference exits its loop without scheduling.
-                return
-            if events and events[0][0] <= pe_time:
-                nxt = tile.next_pump
-                if nxt is None or pe_time < nxt:
-                    tile.next_pump = pe_time
-                    heapq.heappush(events, (pe_time, self._seq,
-                                            _EV_PUMP, tile_id))
-                    self._seq += 1
-                return
-            # Reference would push a pump at pe_time and pop it right
-            # back (strictly before any event): continue inline with
-            # the same ``next_pump = None`` state.
-            tile.next_pump = None
-            now = pe_time
+    engine_name = "reference"
 
-    # ------------------------------------------------------------------
-    def _issue_saac_batch(self, tile_id, tile, task, task_index,
-                          best_time, other_floor, h, now, t1):
-        """Issue a multi-op batch of one SAAC run (exactness-bounded).
 
-        Only called once ``_pump``'s probe established that the run's
-        second op (issuing at ``t1``) can join the batch, so ``count``
-        is always at least 2.  Returns the pump's new ``now``
-        (non-negative) to continue inline, or ``-1`` when the pump
-        must yield to the heap.
-        """
-        ic = self._ic
-        ideal = self._ideal
-        alu = self._alu_latency
-        acc = tile.acc_ready
-        partial = tile.partial
-        local_rem = tile.local_rem
-        rows = task[2]
-        vals = task[3]
-        xval = task[4]
-        pos = task[5]
-        n_run = len(rows)
-        t0 = task[0]
-        p1 = pos + 1
-        running = now
+class BatchedKernelSimulator(KernelSimulator):
+    """The default engine: composition root + ``BatchedIssue``."""
 
-        if n_run - pos >= _VEC_THRESHOLD:
-            count, times, running = self._plan_batch_vectorized(
-                acc, local_rem, rows, pos, t0, best_time,
-                other_floor, h, now,
-            )
-            trigger = local_rem[rows[pos + count - 1]] == 1
-            last_t = times[count - 1]
-            comp_max = max(times) + alu
-        else:
-            t_next = t1
-            if ideal and t_next > running:
-                running = t_next
-            times = [best_time, t_next]
-            cur = t_next
-            trigger = local_rem[rows[p1]] == 1
-            p = p1 + 1
-            while p < n_run and not trigger:
-                row = rows[p]
-                ready = acc[row]
-                if t0 > ready:
-                    ready = t0
-                if ideal:
-                    t_next = ready
-                    if t_next >= other_floor or (
-                        t_next > running and t_next >= h
-                    ):
-                        break
-                    if t_next > running:
-                        running = t_next
-                else:
-                    floor = cur + ic
-                    t_next = ready if ready > floor else floor
-                    if t_next >= other_floor or t_next >= h:
-                        break
-                times.append(t_next)
-                cur = t_next
-                p += 1
-                if local_rem[row] == 1:
-                    trigger = True
-                    break
-            count = len(times)
-            last_t = cur
-            comp_max = max(times) + alu
+    engine_name = "batched"
 
-        end = pos + count
-        # Vectorized numeric contribution: the per-op products are one
-        # array multiply; rows within a run are distinct, so the
-        # scatter applies the identical IEEE-754 adds in the identical
-        # order as per-op issue.
-        contrib = (
-            xval * np.asarray(vals[pos:end], dtype=np.float64)
-        ).tolist()
-        for k in range(count):
-            r = rows[pos + k]
-            acc[r] = times[k] + alu
-            partial[r] += contrib[k]
-            local_rem[r] -= 1
-        tile.op_counts[0] += count
-        tile.busy += ic * count
-        if self._issue_trace is not None:
-            trace = self._issue_trace
-            for k in range(count):
-                trace.append((times[k], tile_id, _T_SAAC))
-        if not ideal:
-            tile.pe_time = last_t + ic
-        elif running > now:
-            # An in-batch fast-forward: the reference pushed a pump at
-            # the hop time and popped it back, clearing ``next_pump``.
-            # Mirror that before the trigger's side effects reschedule.
-            tile.next_pump = None
-        if comp_max > self._end_time:
-            self._end_time = comp_max
 
-        if end >= n_run:
-            del tile.tasks[task_index]
-        else:
-            task[5] = end
-            task[6] = rows[end]
-
-        if trigger:
-            self._node_input_done(rows[end - 1], tile_id, last_t + alu)
-
-        if ideal:
-            return running
-        pe_time = tile.pe_time
-        if not tile.tasks:
-            return pe_time  # pump loop exits without scheduling
-        events = self._events
-        if events and events[0][0] <= pe_time:
-            nxt = tile.next_pump
-            if nxt is None or pe_time < nxt:
-                tile.next_pump = pe_time
-                heapq.heappush(events, (pe_time, self._seq, _EV_PUMP,
-                                        tile_id))
-                self._seq += 1
-            return -1
-        tile.next_pump = None
-        return pe_time
-
-    def _plan_batch_vectorized(self, acc, local_rem, rows, pos, t0,
-                               best_time, other_floor, h, now):
-        """Closed-form issue times for a long run tail (numpy path).
-
-        Solves the recurrence ``t_k = max(ready_k, t_{k-1} + ic)``
-        (non-ideal) or ``t_k = ready_k`` (ideal) for the whole
-        remaining run, then truncates at the first op violating the
-        horizon/window bounds or landing a trigger.
-        Returns ``(count, times_list, running_now)``.
-        """
-        ic = self._ic
-        tail = rows[pos:]
-        length = len(tail)
-        ready = np.fromiter(
-            (acc[r] for r in tail), dtype=np.int64, count=length,
-        )
-        np.maximum(ready, t0, out=ready)
-        if self._ideal:
-            t_all = ready
-            t_all[0] = best_time
-            runmax = np.maximum.accumulate(t_all)
-            prior = np.empty(length, dtype=np.int64)
-            prior[0] = now
-            np.maximum(runmax[:-1], now, out=prior[1:])
-            ok = (t_all < other_floor) & ((t_all <= prior) | (t_all < h))
-        else:
-            steps = ic * np.arange(length, dtype=np.int64)
-            shifted = ready - steps
-            shifted[0] = best_time
-            t_all = np.maximum.accumulate(shifted) + steps
-            bound = other_floor if other_floor < h else h
-            ok = t_all < bound
-        ok[0] = True
-        bad = np.nonzero(~ok)[0]
-        count = int(bad[0]) if len(bad) else length
-        # Truncate at (and include) the first trigger op.
-        for k in range(count):
-            if local_rem[tail[k]] == 1:
-                count = k + 1
-                break
-        times = t_all[:count].tolist()
-        if self._ideal:
-            running = max(times)
-            if now > running:
-                running = now
-        else:
-            running = times[-1]
-        return count, times, running
+_ENGINE_CLASSES: Dict[str, type] = {
+    "reference": ReferenceKernelSimulator,
+    "batched": BatchedKernelSimulator,
+}
 
 
 def _resolve_engine(engine: Optional[str]) -> type:
     """Map an ``engine`` argument / environment to a simulator class."""
     if engine is None:
         engine = "reference" if _env_wants_reference() else "batched"
-    if engine == "batched":
-        return BatchedKernelSimulator
-    if engine == "reference":
-        return ReferenceKernelSimulator
-    raise ValueError(
-        f"unknown simulator engine {engine!r}; "
-        "choices: 'batched', 'reference'"
-    )
+    cls = _ENGINE_CLASSES.get(engine)
+    if cls is None:
+        # Unknown names raise the issue layer's ValueError (single
+        # source of truth for the strategy registry).
+        resolve_strategy(engine)
+        raise ValueError(
+            f"no simulator class registered for engine {engine!r}"
+        )
+    return cls

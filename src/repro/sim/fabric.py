@@ -1,0 +1,167 @@
+"""NoC fabric layer: link occupancy/contention and tree forwarding.
+
+Two views of the same fabric:
+
+* :class:`LinkFabric` — the *dynamic* per-run state: flit
+  serialization on directed links (one flit per link per cycle),
+  queueing delay, per-link activation counts, and the flattened
+  multicast-forwarding plan.  Works over any geometry (torus or mesh);
+  the geometry is baked into the trees at program-build time, so the
+  fabric itself only sees tile ids.
+* :class:`FabricModel` — the *static* tree/link API consumed by the
+  machine model, solver timing, and ``repro.core.traffic``: multicast
+  and reduction trees, hop distances, and link enumeration over a
+  :class:`~repro.comm.torus.TorusGeometry` /
+  :class:`~repro.comm.mesh.MeshGeometry`.
+
+Layer contract: fabric sits above ``events``/``state`` and below
+``issue``/``engine``; it may import :mod:`repro.comm` but never the
+issue layer or the composition root.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.comm.multicast import MulticastTree, build_multicast_tree
+from repro.comm.reduction import ReductionTree, build_reduction_tree
+from repro.sim.events import EventQueue
+
+Link = Tuple[int, int]
+
+#: Flattened multicast step: children to fork to, plus an opaque
+#: destination payload (the engine stores the triggered column segment
+#: there; the fabric never interprets it).
+McastStep = Tuple[Tuple[int, ...], Any]
+
+
+class LinkFabric:
+    """Dynamic link-contention state over one kernel execution.
+
+    Each directed link carries one flit per cycle: a flit departing at
+    a busy cycle queues (``queue_delay`` accounts the wait) and every
+    traversal costs ``hop_cycles`` of latency before the arrival event
+    fires.  Arrival events are pushed into the shared
+    :class:`~repro.sim.events.EventQueue`, preserving deterministic
+    tie-breaking.
+    """
+
+    __slots__ = ("events", "hop_cycles", "link_free", "per_link",
+                 "link_count", "queue_delay", "last_arrival")
+
+    def __init__(self, events: EventQueue, hop_cycles: int) -> None:
+        self.events = events
+        self.hop_cycles = hop_cycles
+        self.link_free: Dict[Link, int] = {}
+        self.per_link: Dict[Link, int] = {}
+        self.link_count = 0
+        self.queue_delay = 0
+        #: Latest link arrival seen so far (combined with the state
+        #: layer's compute completion for the reported cycle count).
+        self.last_arrival = 0
+
+    def traverse(self, src: int, dst: int, time: int, event_kind: int,
+                 payload: Any) -> None:
+        """Serialize a flit onto a link and schedule its arrival."""
+        link = (src, dst)
+        link_free = self.link_free
+        depart = link_free.get(link, 0)
+        if depart < time:
+            depart = time
+        else:
+            self.queue_delay += depart - time
+        link_free[link] = depart + 1
+        per_link = self.per_link
+        per_link[link] = per_link.get(link, 0) + 1
+        self.link_count += 1
+        arrival = depart + self.hop_cycles
+        self.events.push(arrival, event_kind, payload)
+        if arrival > self.last_arrival:
+            self.last_arrival = arrival
+
+
+def flatten_multicast_plan(
+    mcast_trees: Dict[int, Tuple[MulticastTree, ...]],
+    payload_at: Callable[[int, int], Any],
+) -> Tuple[Dict[Tuple[int, int, int], McastStep],
+           Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]]]:
+    """Flatten multicast trees into O(1) per-arrival lookup tables.
+
+    Returns ``(plan, send_plan)``:
+
+    * ``plan[(j, tree_index, node)] = (children, payload)`` — the
+      router-side fork at ``node`` plus, when ``node`` is a
+      destination, ``payload_at(node, j)`` (e.g. the column segment
+      the arrival triggers; ``None`` elsewhere).
+    * ``send_plan[(j, tree_index)] = (root, root_children)`` — the
+      fork a Send op performs at the tree root.
+
+    One dict probe then replaces the tree-attribute chase, set
+    membership test, and nested segment lookup per arrival.
+    """
+    plan: Dict[Tuple[int, int, int], McastStep] = {}
+    send_plan: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]] = {}
+    for j, trees in mcast_trees.items():
+        for tree_index, tree in enumerate(trees):
+            nodes = set(tree.children)
+            for childs in tree.children.values():
+                nodes.update(childs)
+            nodes.add(tree.root)
+            for node in nodes:
+                payload = None
+                if node in tree.destinations:
+                    payload = payload_at(node, j)
+                plan[(j, tree_index, node)] = (
+                    tuple(tree.children.get(node, ())), payload,
+                )
+            send_plan[(j, tree_index)] = (
+                tree.root, tuple(tree.children.get(tree.root, ())),
+            )
+    return plan, send_plan
+
+
+class FabricModel:
+    """Static tree/link API of the NoC for a given geometry.
+
+    The machine model (:class:`~repro.sim.machine.AzulMachine`), the
+    solver-timing recipes, and the static traffic analysis
+    (:mod:`repro.core.traffic`) consume this instead of building trees
+    straight from :mod:`repro.comm` or reaching into engine internals.
+    """
+
+    __slots__ = ("geometry", "hop_cycles")
+
+    def __init__(self, geometry, hop_cycles: int = 1) -> None:
+        self.geometry = geometry
+        self.hop_cycles = hop_cycles
+
+    @property
+    def n_tiles(self) -> int:
+        return self.geometry.n_tiles
+
+    # -- trees ---------------------------------------------------------
+    def multicast_tree(self, root: int,
+                       destinations: Iterable[int]) -> MulticastTree:
+        """The router-merged multicast tree from ``root``."""
+        return build_multicast_tree(self.geometry, root,
+                                    list(destinations))
+
+    def reduction_tree(self, root: int,
+                       sources: Iterable[int]) -> ReductionTree:
+        """The reduction tree collecting ``sources`` into ``root``."""
+        return build_reduction_tree(self.geometry, root, list(sources))
+
+    # -- links ---------------------------------------------------------
+    def hop_distance(self, src: int, dst: int) -> int:
+        return self.geometry.hop_distance(src, dst)
+
+    def all_links(self) -> List[Link]:
+        return self.geometry.all_links()
+
+    def reduction_depth(self) -> int:
+        return self.geometry.reduction_depth()
+
+    # -- dynamic state -------------------------------------------------
+    def new_link_state(self, events: EventQueue) -> LinkFabric:
+        """Fresh per-run link-contention state bound to ``events``."""
+        return LinkFabric(events, self.hop_cycles)

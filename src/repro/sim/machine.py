@@ -11,16 +11,17 @@ steady-state methodology the paper uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.comm import make_geometry
-from repro.comm.torus import TorusGeometry
 from repro.config import AzulConfig
 from repro.core.placement import Placement
 from repro.dataflow.program import PCGIterationProgram, build_pcg_program
 from repro.errors import SimulationError
 from repro.sim.engine import KernelResult, KernelSimulator
+from repro.sim.fabric import FabricModel
 from repro.sim.pe import AZUL_PE, PEModel
 from repro.sparse.csr import CSRMatrix
 
@@ -41,31 +42,33 @@ class IterationResult:
         Useful algorithmic FLOPs of one iteration.
     """
 
-    kernel_results: list
+    kernel_results: List[KernelResult]
     vector_cycles: int
     total_cycles: int
     flops_per_iteration: int
-    config: AzulConfig = None
-    vector_ops: dict = None
+    config: Optional[AzulConfig] = None
+    vector_ops: Optional[Dict[str, int]] = None
 
     def gflops(self) -> float:
         """Steady-state useful GFLOP/s."""
-        if self.total_cycles == 0:
+        if self.total_cycles == 0 or self.config is None:
             return 0.0
         seconds = self.total_cycles / self.config.frequency_hz
         return self.flops_per_iteration / seconds / 1e9
 
     def utilization(self) -> float:
         """Fraction of the machine's peak FLOP/s achieved."""
+        if self.config is None:
+            return 0.0
         return self.gflops() * 1e9 / self.config.peak_flops
 
-    def cycles_by_phase(self) -> dict:
+    def cycles_by_phase(self) -> Dict[str, int]:
         """Per-phase cycles (the Fig. 22 breakdown)."""
         phases = {k.name: k.cycles for k in self.kernel_results}
         phases["vector"] = self.vector_cycles
         return phases
 
-    def op_totals(self) -> dict:
+    def op_totals(self) -> Dict[str, int]:
         """Operations issued by kind, across kernels and vector phase."""
         totals = {"fmac": 0, "add": 0, "mul": 0, "send": 0}
         for result in self.kernel_results:
@@ -82,12 +85,24 @@ class IterationResult:
 
 
 class AzulMachine:
-    """A simulated Azul machine executing mapped PCG iterations."""
+    """A simulated Azul machine executing mapped PCG iterations.
 
-    def __init__(self, config: AzulConfig = None, pe: PEModel = AZUL_PE):
+    The machine's view of the NoC is a
+    :class:`~repro.sim.fabric.FabricModel` over the configured geometry
+    (``config.topology`` selects torus or mesh via
+    :func:`repro.comm.make_geometry`); tree/link queries go through
+    ``self.fabric`` rather than the raw geometry.  ``self.torus`` is
+    kept as a backwards-compatible alias for the geometry object.
+    """
+
+    def __init__(self, config: Optional[AzulConfig] = None,
+                 pe: PEModel = AZUL_PE):
         self.config = config or AzulConfig()
         self.pe = pe
-        self.torus = make_geometry(self.config)
+        self.fabric = FabricModel(
+            make_geometry(self.config), self.config.hop_cycles
+        )
+        self.torus = self.fabric.geometry
 
     # ------------------------------------------------------------------
     def compile(self, matrix: CSRMatrix, lower: CSRMatrix,

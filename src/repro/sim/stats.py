@@ -8,6 +8,7 @@ issue slots while the kernel was in flight).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -33,7 +34,7 @@ class CycleBreakdown:
 def breakdown_from_results(kernel_results, n_tiles: int,
                            issue_cycles: int = 1,
                            extra_cycles: int = 0,
-                           extra_ops: dict = None) -> CycleBreakdown:
+                           extra_ops: Optional[dict] = None) -> CycleBreakdown:
     """Aggregate kernel results into a machine-wide cycle breakdown.
 
     Total issue slots are ``(sum of kernel cycles + extra_cycles) *

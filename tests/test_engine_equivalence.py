@@ -13,7 +13,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.comm import TorusGeometry
+from repro.comm import MeshGeometry, TorusGeometry, make_geometry
 from repro.config import AzulConfig
 from repro.core import map_block
 from repro.dataflow import build_spmv_program, build_sptrsv_program
@@ -57,10 +57,13 @@ def _matrix(kind):
     return _MATRICES[kind]
 
 
-def _programs(kind, rows, cols):
+def _programs(kind, rows, cols, topology="torus"):
     matrix, lower = _matrix(kind)
-    torus = TorusGeometry(rows, cols)
-    config = AzulConfig(mesh_rows=rows, mesh_cols=cols)
+    config = AzulConfig(mesh_rows=rows, mesh_cols=cols, topology=topology)
+    torus = make_geometry(config)
+    assert isinstance(
+        torus, TorusGeometry if topology == "torus" else MeshGeometry
+    )
     placement = map_block(matrix, lower, rows * cols)
     spmv = build_spmv_program(matrix, placement.a_tile, placement.vec_tile,
                               torus)
@@ -90,6 +93,7 @@ def _assert_equivalent(program, torus, config, pe, x=None, b=None):
         == sorted(map(tuple, reference.issue_trace))
 
 
+@pytest.mark.parametrize("topology", ["torus", "mesh"])
 @pytest.mark.parametrize("pe_name", sorted(PES))
 @pytest.mark.parametrize("kind,rows,cols", [
     ("fem", 4, 4),
@@ -97,8 +101,10 @@ def _assert_equivalent(program, torus, config, pe, x=None, b=None):
     ("grid", 2, 2),   # tiny mesh: heavy window competition per tile
 ])
 @pytest.mark.parametrize("kernel", ["spmv", "sptrsv"])
-def test_engine_equivalence(kind, rows, cols, pe_name, kernel):
-    matrix, torus, config, spmv, sptrsv = _programs(kind, rows, cols)
+def test_engine_equivalence(kind, rows, cols, pe_name, kernel, topology):
+    """Bit-identity must hold on both geometries the fabric supports."""
+    matrix, torus, config, spmv, sptrsv = _programs(kind, rows, cols,
+                                                    topology)
     rng = np.random.default_rng(99)
     if kernel == "spmv":
         _assert_equivalent(spmv, torus, config, PES[pe_name],
@@ -106,6 +112,19 @@ def test_engine_equivalence(kind, rows, cols, pe_name, kernel):
     else:
         _assert_equivalent(sptrsv, torus, config, PES[pe_name],
                            b=rng.standard_normal(matrix.shape[0]))
+
+
+def test_mesh_and_torus_timing_differ():
+    """Sanity: the mesh geometry actually changes NoC timing (so the
+    mesh arm of the equivalence matrix is not vacuously identical)."""
+    matrix, torus, config, spmv_t, _ = _programs("fem", 4, 4, "torus")
+    _, mesh, mconfig, spmv_m, _ = _programs("fem", 4, 4, "mesh")
+    x = np.ones(matrix.shape[0])
+    torus_cycles = BatchedKernelSimulator(
+        spmv_t, torus, config, AZUL_PE).run(x=x).cycles
+    mesh_cycles = BatchedKernelSimulator(
+        spmv_m, mesh, mconfig, AZUL_PE).run(x=x).cycles
+    assert torus_cycles != mesh_cycles
 
 
 def test_equivalence_exercises_vectorized_batches():

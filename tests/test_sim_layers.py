@@ -1,0 +1,332 @@
+"""Unit tests for the layered simulator core and its contracts.
+
+Covers each layer in isolation — event queue determinism, link
+serialization, multicast-plan flattening, numeric state bookkeeping,
+issue-strategy resolution — plus the two cross-cutting guarantees:
+
+* the import-layer contract (``tools/check_layers.py``, the offline
+  twin of the ``.importlinter`` CI job) holds over the whole tree;
+* geometry construction is routed through
+  :func:`repro.comm.make_geometry` everywhere, so
+  ``AzulConfig(topology="mesh")`` is honored by the CLI, the
+  experiments, and the machine (the regression behind the satellite
+  bugfix: fig11/abl_quantiles/cli used to hard-code ``TorusGeometry``).
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.comm import MeshGeometry, TorusGeometry, make_geometry
+from repro.comm.multicast import build_multicast_tree
+from repro.comm.reduction import build_reduction_tree
+from repro.config import AzulConfig
+from repro.sim.events import (
+    EV_MCAST,
+    EV_PARTIAL,
+    EV_PUMP,
+    NEVER,
+    EventQueue,
+    drain,
+)
+from repro.sim.fabric import FabricModel, LinkFabric, flatten_multicast_plan
+from repro.sim.issue import (
+    STRATEGIES,
+    BatchedIssue,
+    PerOpIssue,
+    resolve_strategy,
+)
+from repro.sim.state import KernelState, TileState
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+# ---------------------------------------------------------------------------
+# events
+# ---------------------------------------------------------------------------
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(5, EV_PUMP, "late")
+        queue.push(1, EV_PUMP, "early")
+        queue.push(3, EV_PUMP, "mid")
+        assert [queue.pop()[3] for _ in range(3)] == ["early", "mid", "late"]
+
+    def test_ties_pop_in_push_order(self):
+        queue = EventQueue()
+        for i in range(10):
+            queue.push(7, EV_PUMP, i)
+        assert [queue.pop()[3] for _ in range(10)] == list(range(10))
+
+    def test_next_time_and_never(self):
+        queue = EventQueue()
+        assert queue.next_time() == NEVER
+        assert queue.next_time(default=-1) == -1
+        queue.push(42, EV_MCAST, None)
+        assert queue.next_time() == 42
+        assert len(queue) == 1 and bool(queue)
+
+    def test_drain_dispatches_by_kind(self):
+        queue = EventQueue()
+        queue.push(2, EV_MCAST, "m")
+        queue.push(1, EV_PUMP, "p")
+        queue.push(3, EV_PARTIAL, "r")
+        seen = []
+        drain(
+            queue,
+            on_pump=lambda payload, t: seen.append(("pump", payload, t)),
+            on_mcast=lambda payload, t: seen.append(("mcast", payload, t)),
+            on_partial=lambda payload, t: seen.append(("part", payload, t)),
+        )
+        assert seen == [("pump", "p", 1), ("mcast", "m", 2),
+                        ("part", "r", 3)]
+        assert not queue
+
+    def test_drain_handlers_may_push(self):
+        """Events scheduled by handlers are drained too (cascade)."""
+        queue = EventQueue()
+        queue.push(0, EV_PUMP, 3)
+        fired = []
+
+        def on_pump(payload, time):
+            fired.append(time)
+            if payload:
+                queue.push(time + 1, EV_PUMP, payload - 1)
+
+        drain(queue, on_pump, lambda p, t: None, lambda p, t: None)
+        assert fired == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# fabric
+# ---------------------------------------------------------------------------
+class TestLinkFabric:
+    def test_serializes_one_flit_per_cycle(self):
+        events = EventQueue()
+        fabric = LinkFabric(events, hop_cycles=2)
+        # Three flits on the same link at the same cycle: departures
+        # serialize at t=0,1,2 so arrivals land at 2,3,4.
+        for i in range(3):
+            fabric.traverse(0, 1, 0, EV_MCAST, i)
+        arrivals = sorted(events.pop()[0] for _ in range(3))
+        assert arrivals == [2, 3, 4]
+        assert fabric.queue_delay == 0 + 1 + 2
+        assert fabric.link_count == 3
+        assert fabric.per_link == {(0, 1): 3}
+        assert fabric.last_arrival == 4
+
+    def test_distinct_links_do_not_contend(self):
+        events = EventQueue()
+        fabric = LinkFabric(events, hop_cycles=1)
+        fabric.traverse(0, 1, 5, EV_PARTIAL, "a")
+        fabric.traverse(1, 0, 5, EV_PARTIAL, "b")  # opposite direction
+        times = sorted(events.pop()[0] for _ in range(2))
+        assert times == [6, 6]
+        assert fabric.queue_delay == 0
+
+
+class TestFlattenMulticastPlan:
+    def test_plan_matches_tree(self):
+        torus = TorusGeometry(2, 2)
+        tree = build_multicast_tree(torus, 0, [1, 2, 3])
+        plan, send_plan = flatten_multicast_plan(
+            {7: (tree,)}, payload_at=lambda node, j: f"seg-{node}-{j}"
+        )
+        root, root_children = send_plan[(7, 0)]
+        assert root == 0
+        assert set(root_children) == set(tree.children.get(0, ()))
+        for dest in tree.destinations:
+            children, payload = plan[(7, 0, dest)]
+            assert payload == f"seg-{dest}-7"
+            assert list(children) == list(tree.children.get(dest, ()))
+        # The root is not a destination: no payload there.
+        assert plan[(7, 0, 0)][1] is None
+
+
+class TestFabricModel:
+    def test_delegates_to_geometry(self):
+        for geometry in (TorusGeometry(3, 3), MeshGeometry(3, 3)):
+            fabric = FabricModel(geometry, hop_cycles=2)
+            assert fabric.n_tiles == 9
+            assert fabric.hop_distance(0, 8) \
+                == geometry.hop_distance(0, 8)
+            assert fabric.all_links() == geometry.all_links()
+            assert fabric.reduction_depth() == geometry.reduction_depth()
+
+    def test_trees_match_comm_builders(self):
+        geometry = MeshGeometry(2, 3)
+        fabric = FabricModel(geometry)
+        mcast = fabric.multicast_tree(0, [3, 5])
+        expected = build_multicast_tree(geometry, 0, [3, 5])
+        assert mcast.edges == expected.edges
+        red = fabric.reduction_tree(0, [3, 5])
+        assert red.edges == build_reduction_tree(geometry, 0, [3, 5]).edges
+
+    def test_new_link_state_binds_events(self):
+        fabric = FabricModel(TorusGeometry(2, 2), hop_cycles=3)
+        events = EventQueue()
+        link_state = fabric.new_link_state(events)
+        assert isinstance(link_state, LinkFabric)
+        assert link_state.events is events
+        assert link_state.hop_cycles == 3
+
+
+# ---------------------------------------------------------------------------
+# state
+# ---------------------------------------------------------------------------
+class TestKernelState:
+    def test_tile_created_on_first_touch(self):
+        state = KernelState(4, {}, msg_buffer_entries=8, spill_penalty=6)
+        assert state.tiles == {}
+        tile = state.tile(2)
+        assert state.tile(2) is tile
+        assert isinstance(tile, TileState)
+        # Dummy hazard row: one extra accumulator slot, never written.
+        assert len(tile.acc_ready) == 5
+        assert tile.local_rem is None
+
+    def test_local_rem_densified_per_tile(self):
+        state = KernelState(3, {(1, 0): 2, (1, 2): 1}, 8, 6)
+        assert state.tile(1).local_rem == [2, 0, 1]
+        assert state.tile(0).local_rem is None
+
+    def test_enqueue_spills_after_buffer_fills(self):
+        state = KernelState(2, {}, msg_buffer_entries=2, spill_penalty=6)
+        t0 = [10, 3, "p", 0, 0, 0, 2]
+        state.enqueue(0, t0)
+        state.enqueue(0, [10, 3, "q", 0, 0, 0, 2])
+        overflow = [10, 3, "r", 0, 0, 0, 2]
+        state.enqueue(0, overflow)
+        assert state.spills == 1
+        assert t0[0] == 10           # in-buffer task untouched
+        assert overflow[0] == 16     # delayed by one SRAM round trip
+
+    def test_op_totals_sums_tiles(self):
+        state = KernelState(2, {}, 8, 6)
+        state.tile(0).op_counts = [1, 2, 3, 4]
+        state.tile(0).busy = 5
+        state.tile(1).op_counts = [10, 0, 0, 1]
+        state.tile(1).busy = 7
+        totals, busy = state.op_totals()
+        assert totals == [11, 2, 3, 5]
+        assert busy == 12
+
+    def test_partial_value_defaults_to_zero(self):
+        state = KernelState(2, {}, 8, 6)
+        assert state.partial_value(3, 1) == 0.0
+        state.tile(3).partial[1] = 2.5
+        assert state.partial_value(3, 1) == 2.5
+
+
+# ---------------------------------------------------------------------------
+# issue
+# ---------------------------------------------------------------------------
+class TestIssueRegistry:
+    def test_known_strategies(self):
+        assert resolve_strategy("reference") is PerOpIssue
+        assert resolve_strategy("batched") is BatchedIssue
+        assert set(STRATEGIES) == {"reference", "batched"}
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError, match="warp"):
+            resolve_strategy("warp")
+
+
+# ---------------------------------------------------------------------------
+# cross-cutting contracts
+# ---------------------------------------------------------------------------
+def test_layer_contract_holds():
+    """The AST layer checker (CI twin of import-linter) reports clean."""
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import check_layers
+    finally:
+        sys.path.pop(0)
+    assert check_layers.check() == []
+
+
+def test_no_direct_geometry_construction_outside_comm():
+    """Everything builds geometries via ``make_geometry(config)``.
+
+    Regression guard for the satellite bugfix: the CLI and several
+    experiment modules used to call ``TorusGeometry(rows, cols)``
+    directly, silently ignoring ``AzulConfig.topology == "mesh"``.
+    """
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC)
+        if rel.parts[:2] == ("repro", "comm"):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = getattr(func, "id", getattr(func, "attr", ""))
+                if name in ("TorusGeometry", "MeshGeometry"):
+                    offenders.append(f"{rel}:{node.lineno}")
+    assert offenders == [], (
+        "geometry constructed directly (use repro.comm.make_geometry): "
+        + ", ".join(offenders)
+    )
+
+
+def test_make_geometry_respects_topology():
+    base = dict(mesh_rows=4, mesh_cols=4)
+    torus = make_geometry(AzulConfig(**base))
+    mesh = make_geometry(AzulConfig(topology="mesh", **base))
+    assert isinstance(torus, TorusGeometry)
+    assert isinstance(mesh, MeshGeometry)
+    # The mesh has no wraparound: corner-to-corner costs more hops.
+    assert mesh.hop_distance(0, 15) > torus.hop_distance(0, 15)
+
+
+def test_machine_fabric_follows_config_topology():
+    from repro.sim import AzulMachine
+
+    base = dict(mesh_rows=4, mesh_cols=4)
+    machine = AzulMachine(AzulConfig(topology="mesh", **base))
+    assert isinstance(machine.fabric, FabricModel)
+    assert isinstance(machine.fabric.geometry, MeshGeometry)
+    assert machine.torus is machine.fabric.geometry
+    assert machine.fabric.hop_cycles == machine.config.hop_cycles
+
+
+def test_traffic_analysis_accepts_fabric_or_geometry():
+    from repro.core import analyze_traffic, map_block
+    from repro.precond import ic0
+    from repro.sparse import generators as gen
+
+    matrix = gen.grid_laplacian_2d(6, 6)
+    lower = ic0(matrix)
+    placement = map_block(matrix, lower, 4)
+    geometry = TorusGeometry(2, 2)
+    via_geometry = analyze_traffic(placement, matrix, lower, geometry)
+    via_fabric = analyze_traffic(placement, matrix, lower,
+                                 FabricModel(geometry))
+    assert via_geometry.total_link_activations \
+        == via_fabric.total_link_activations
+    assert via_geometry.total_messages == via_fabric.total_messages
+    # And the topology changes the static traffic (the bug this guards
+    # against silently produced torus numbers for mesh configs).
+    mesh_report = analyze_traffic(placement, matrix, lower,
+                                  MeshGeometry(2, 2))
+    assert mesh_report.total_messages == via_geometry.total_messages
+    assert mesh_report.kernels[0].name == "spmv"
+
+
+def test_vector_phase_accepts_fabric():
+    """Solver timing passes the fabric where a geometry used to go."""
+    from repro.dataflow.vector_ops import dot_allreduce_cycles
+
+    config = AzulConfig(mesh_rows=4, mesh_cols=4)
+    vec_tile = np.zeros(16, dtype=np.int64)
+    geometry = make_geometry(config)
+    direct = dot_allreduce_cycles(vec_tile, geometry, config)
+    via_fabric = dot_allreduce_cycles(
+        vec_tile, FabricModel(geometry, config.hop_cycles), config
+    )
+    assert direct == via_fabric

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Enforce the simulator-core layer contract without third-party tools.
+
+Mirrors the import-linter contracts in ``.importlinter`` (run in CI,
+where ``import-linter`` can be installed) so the same rules are
+checkable offline and in the test suite with nothing but the standard
+library:
+
+1. **Core layering** — within ``repro.sim`` the layers
+   ``events ← state ← fabric ← issue ← engine`` may only depend
+   downward (``engine`` sees everything, ``events`` sees nothing).
+2. **comm independence** — ``repro.comm`` never imports ``repro.sim``
+   (geometries and trees stay simulator-agnostic).
+3. **dataflow independence** — ``repro.dataflow`` never imports
+   ``repro.sim.engine`` (programs are engine-neutral artifacts).
+
+The scan is purely static (``ast`` over every ``repro`` module);
+``from x import y`` and ``import x`` are both resolved, including
+relative imports.  Exit code 0 = contract holds.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Bottom-up layer order of the simulator core.  A module may import
+#: only itself and strictly lower layers.
+SIM_LAYERS = ["events", "state", "fabric", "issue", "engine"]
+
+#: (importer-prefix, forbidden-import-prefix, reason)
+FORBIDDEN: List[Tuple[str, str, str]] = [
+    ("repro.comm", "repro.sim",
+     "comm is the geometry/tree layer; it must not know the simulator"),
+    ("repro.dataflow", "repro.sim.engine",
+     "dataflow programs are engine-neutral; only the composition root "
+     "may bind them to an engine"),
+    ("repro.sim", "repro.cli",
+     "the simulator never reaches into the CLI"),
+]
+
+
+def _module_name(path: Path) -> str:
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _imports(path: Path, module: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, imported_module)`` for every import in a file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    package_parts = module.split(".")
+    if path.name != "__init__.py":
+        package_parts = package_parts[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import
+                base = package_parts[: len(package_parts) - node.level + 1]
+                prefix = ".".join(base)
+                target = (
+                    f"{prefix}.{node.module}" if node.module else prefix
+                )
+            else:
+                target = node.module or ""
+            if target:
+                yield node.lineno, target
+
+
+def _sim_layer(module: str) -> int:
+    """Layer index of a ``repro.sim`` core module, else -1."""
+    parts = module.split(".")
+    if len(parts) >= 3 and parts[0] == "repro" and parts[1] == "sim":
+        try:
+            return SIM_LAYERS.index(parts[2])
+        except ValueError:
+            return -1
+    return -1
+
+
+def check(src: Path = SRC) -> List[str]:
+    """All layer-contract violations in the tree (empty = clean)."""
+    violations: List[str] = []
+    for path in sorted(src.rglob("*.py")):
+        module = _module_name(path)
+        importer_layer = _sim_layer(module)
+        for lineno, target in _imports(path, module):
+            where = f"{path.relative_to(src.parent)}:{lineno}"
+            # Rule 1: strict layering inside the simulator core.
+            target_layer = _sim_layer(target)
+            if importer_layer != -1 and target_layer != -1 \
+                    and target_layer > importer_layer:
+                violations.append(
+                    f"{where}: {module} (layer "
+                    f"'{SIM_LAYERS[importer_layer]}') imports {target} "
+                    f"(higher layer '{SIM_LAYERS[target_layer]}')"
+                )
+            # Rule 2/3: forbidden cross-package edges.
+            for src_prefix, bad_prefix, reason in FORBIDDEN:
+                if (module == src_prefix
+                        or module.startswith(src_prefix + ".")) and (
+                        target == bad_prefix
+                        or target.startswith(bad_prefix + ".")):
+                    violations.append(
+                        f"{where}: {module} imports {target} ({reason})"
+                    )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print("layer-contract violations:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("layer contract OK "
+          f"(sim core: {' <- '.join(SIM_LAYERS)}; "
+          f"{len(FORBIDDEN)} cross-package rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
