@@ -1,31 +1,36 @@
 #!/usr/bin/env python
-"""Gate a ``BENCH_sim.json`` run against the committed baseline.
+"""Gate a tracked benchmark run against its committed baseline.
 
 Two checks, both over the pytest-benchmark JSON emitted by
-``benchmarks/emit_bench_sim.py``:
+``benchmarks/emit_bench.py``:
 
-1. **Per-benchmark regression** — each benchmark's mean must not be
-   more than ``--threshold`` (default 25%) slower than the same
-   benchmark in the baseline file.  Absolute timings are machine
-   dependent, so CI keeps the baseline refreshed from the same runner
+1. **Per-benchmark regression** — each benchmark's best-of-rounds time
+   must not be more than ``--threshold`` (default 25%) slower than the
+   same benchmark in the baseline file.  Absolute timings are machine
+   dependent, so CI keeps the baselines refreshed from the same runner
    class (see ``benchmarks/baselines/``).
-2. **Engine speedup floor** — the batched engine must stay at least
-   ``--min-speedup`` faster than the per-op reference engine.  This
-   ratio is machine *independent*, so it holds even when the absolute
-   baseline is stale.  Default 1.05x: since the layered-core refactor
-   the reference engine shares the batched engine's optimized control
-   path (it differs only in the ``PerOpIssue`` strategy), so the
-   remaining gap is the pure batching benefit — ~1.4x on the 300-node
-   FEM SpMV and ~1.1x on the dependence-limited SpTRSV; the floor
-   guards "batched never loses to reference", not the historical 1.5x+
-   margin over the old unoptimized reference loop.
+2. **Speedup floor** — the suite's fast implementation must stay at
+   least ``--min-speedup`` faster than its retained reference
+   implementation.  This ratio is machine *independent*, so it holds
+   even when the absolute baseline is stale.
+
+   * ``sim`` (default floor 1.05x): since the layered-core refactor
+     the per-op reference engine shares the batched engine's optimized
+     control path, so the remaining gap is the pure batching benefit —
+     ~1.4x on the 300-node FEM SpMV and ~1.1x on the
+     dependence-limited SpTRSV.
+   * ``mapping`` (default floor 1.5x): the reference heap-FM strategy
+     shares the vectorized coarsening/initial phases and the
+     dirty-set selection loop, so the gap is the pure CSR-gain
+     bookkeeping benefit — ~2.2x on the consph quality partition.
 
 Exit status is non-zero on any violation.
 
 Usage::
 
-    python benchmarks/check_regression.py BENCH_sim.json \
-        --baseline benchmarks/baselines/BENCH_sim.json
+    python benchmarks/check_regression.py BENCH_mapping.json \
+        --suite mapping \
+        --baseline benchmarks/baselines/BENCH_mapping.json
 """
 
 from __future__ import annotations
@@ -36,14 +41,17 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from emit_bench_sim import SPEEDUP_PAIRS, load_times  # noqa: E402
+from emit_bench import SUITES, load_times  # noqa: E402
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" \
-    / "BENCH_sim.json"
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: Machine-independent fast-vs-reference floors per suite.
+DEFAULT_MIN_SPEEDUP = {"sim": 1.05, "mapping": 1.5}
 
 
 def check(current_path: Path, baseline_path: Path, threshold: float,
-          min_speedup: float) -> int:
+          min_speedup: float, suite: str) -> int:
+    spec = SUITES[suite]
     current = load_times(current_path)
     failures = 0
 
@@ -64,7 +72,7 @@ def check(current_path: Path, baseline_path: Path, threshold: float,
         print(f"  baseline {baseline_path} missing — skipping absolute "
               "regression check")
 
-    for fast, slow in SPEEDUP_PAIRS:
+    for fast, slow in spec["speedup_pairs"]:
         if fast not in current or slow not in current:
             continue
         speedup = current[slow] / current[fast]
@@ -73,7 +81,8 @@ def check(current_path: Path, baseline_path: Path, threshold: float,
             status = f"BELOW FLOOR ({min_speedup:.1f}x)"
             failures += 1
         kernel = fast.replace("test_", "").replace("_sim", "")
-        print(f"  {kernel} batched speedup: {speedup:.2f}x [{status}]")
+        print(f"  {kernel} {spec['pair_label']} speedup: "
+              f"{speedup:.2f}x [{status}]")
 
     return failures
 
@@ -82,28 +91,41 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
     )
-    parser.add_argument("current", help="freshly emitted BENCH_sim.json")
+    parser.add_argument("current", help="freshly emitted BENCH_*.json")
     parser.add_argument(
-        "--baseline", default=str(DEFAULT_BASELINE),
-        help="committed baseline JSON (default: %(default)s)",
+        "--suite", default="sim", choices=sorted(SUITES),
+        help="benchmark suite being gated (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed baseline JSON "
+             "(default: benchmarks/baselines/<suite default output>)",
     )
     parser.add_argument(
         "--threshold", type=float, default=0.25,
         help="max allowed slowdown vs baseline (default: %(default)s)",
     )
     parser.add_argument(
-        "--min-speedup", type=float, default=1.05,
-        help="batched-engine speedup floor vs the reference engine "
-             "(default: %(default)s)",
+        "--min-speedup", type=float, default=None,
+        help="fast-vs-reference speedup floor "
+             "(default: per suite — sim 1.05, mapping 1.5)",
     )
     args = parser.parse_args(argv)
+    baseline = Path(
+        args.baseline
+        or BASELINE_DIR / SUITES[args.suite]["default_output"]
+    )
+    min_speedup = (
+        DEFAULT_MIN_SPEEDUP[args.suite]
+        if args.min_speedup is None else args.min_speedup
+    )
 
-    print(f"checking {args.current} against {args.baseline} "
-          f"(threshold {args.threshold:.0%}, "
-          f"speedup floor {args.min_speedup:.1f}x)")
+    print(f"checking {args.current} against {baseline} "
+          f"(suite {args.suite}, threshold {args.threshold:.0%}, "
+          f"speedup floor {min_speedup:.1f}x)")
     failures = check(
-        Path(args.current), Path(args.baseline),
-        args.threshold, args.min_speedup,
+        Path(args.current), baseline, args.threshold, min_speedup,
+        args.suite,
     )
     print(f"failures: {failures}")
     return 1 if failures else 0

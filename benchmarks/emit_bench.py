@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Emit a tracked benchmark run (``BENCH_sim.json`` / ``BENCH_mapping.json``).
+
+Drives pytest-benchmark over one marked benchmark suite and writes the
+standard pytest-benchmark JSON.  A summary — including the
+fast-over-reference speedup each suite tracks — is printed at the end.
+
+Suites:
+
+* ``sim`` — the ``sim_engine`` marker set in
+  ``benchmarks/bench_kernels.py``: batched vs per-op reference engine
+  on the 300-node FEM SpMV/SpTRSV programs.
+* ``mapping`` — the ``mapping_engine`` marker set in
+  ``benchmarks/bench_mapping.py``: quality-preset Azul partitions with
+  the vectorized vs reference FM refinement strategies, plus the
+  largest-suite-matrix (BenElechi1) partition the Sec. VI-D cost study
+  tracks.
+
+Usage::
+
+    python benchmarks/emit_bench.py --suite mapping \
+        [--output BENCH_mapping.json] [--pytest-arg ...]
+
+Gate the emitted file against the committed baseline with
+``benchmarks/check_regression.py --suite mapping``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Per-suite harness description: which benchmark file / marker to run,
+#: where the JSON lands by default, and which (fast, reference)
+#: benchmark pairs define the suite's headline speedup ratio.
+SUITES = {
+    "sim": {
+        "bench_file": "bench_kernels.py",
+        "marker": "sim_engine",
+        "default_output": "BENCH_sim.json",
+        "speedup_pairs": (
+            ("test_spmv_sim", "test_spmv_sim_reference"),
+            ("test_sptrsv_sim", "test_sptrsv_sim_reference"),
+        ),
+        "pair_label": "batched-engine",
+    },
+    "mapping": {
+        "bench_file": "bench_mapping.py",
+        "marker": "mapping_engine",
+        "default_output": "BENCH_mapping.json",
+        "speedup_pairs": (
+            ("test_mapping_quality", "test_mapping_quality_reference"),
+        ),
+        "pair_label": "vectorized-FM",
+    },
+}
+
+#: Back-compat alias (the historical ``emit_bench_sim`` public name).
+SPEEDUP_PAIRS = SUITES["sim"]["speedup_pairs"]
+
+
+def load_times(path: Path) -> dict:
+    """Map short benchmark name -> best-round seconds from a JSON file.
+
+    Uses ``stats.min`` rather than the mean: the minimum over rounds is
+    the standard robust estimator for micro-benchmarks — transient
+    machine load only ever inflates timings, so the best round is the
+    closest observation of the true cost.
+    """
+    data = json.loads(path.read_text())
+    times = {}
+    for entry in data.get("benchmarks", []):
+        name = entry["name"].split("[")[0]
+        times[name] = entry["stats"]["min"]
+    return times
+
+
+def summarize(path: Path, suite: str) -> int:
+    spec = SUITES[suite]
+    times = load_times(path)
+    if not times:
+        print(f"{path}: no benchmarks recorded", file=sys.stderr)
+        return 1
+    width = max(len(name) for name in times)
+    print(f"\n{path} (best of rounds):")
+    for name, best in sorted(times.items()):
+        print(f"  {name:<{width}}  {best * 1e3:9.2f} ms")
+    for fast, slow in spec["speedup_pairs"]:
+        if fast in times and slow in times and times[fast] > 0:
+            kernel = fast.replace("test_", "").replace("_sim", "")
+            print(f"  {kernel} {spec['pair_label']} speedup: "
+                  f"{times[slow] / times[fast]:.2f}x")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--suite", default="sim", choices=sorted(SUITES),
+        help="benchmark suite to run (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="benchmark JSON path (default: the suite's BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--summary-only", action="store_true",
+        help="summarize an existing JSON without re-running benchmarks",
+    )
+    parser.add_argument(
+        "--pytest-arg", action="append", default=[],
+        help="extra argument forwarded to pytest (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    spec = SUITES[args.suite]
+    output = Path(args.output or spec["default_output"])
+
+    if not args.summary_only:
+        command = [
+            sys.executable, "-m", "pytest",
+            str(REPO_ROOT / "benchmarks" / spec["bench_file"]),
+            "-m", spec["marker"],
+            "--benchmark-only",
+            "--benchmark-disable-gc",
+            f"--benchmark-json={output}",
+            "-q",
+        ] + args.pytest_arg
+        print("$", " ".join(command))
+        status = subprocess.call(command, cwd=REPO_ROOT)
+        if status != 0:
+            return status
+    if not output.exists():
+        print(f"{output}: not found", file=sys.stderr)
+        return 1
+    return summarize(output, args.suite)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,110 +1,34 @@
 #!/usr/bin/env python
-"""Emit ``BENCH_sim.json``: the tracked simulator-engine benchmark run.
+"""Back-compat shim: ``emit_bench_sim`` is now ``emit_bench --suite sim``.
 
-Drives pytest-benchmark over the ``sim_engine`` marker set in
-``benchmarks/bench_kernels.py`` (batched vs per-op reference engine on
-the 300-node FEM SpMV/SpTRSV programs) and writes the standard
-pytest-benchmark JSON to ``BENCH_sim.json``.  A summary — including the
-batched-over-reference speedup the PR tracks — is printed at the end.
+The harness was generalized when the mapping benchmarks
+(``BENCH_mapping.json``) joined the tracked set; this wrapper keeps the
+historical entry point and public names (``SPEEDUP_PAIRS``,
+``load_times``) working.  Prefer::
 
-Usage::
-
-    python benchmarks/emit_bench_sim.py [--output BENCH_sim.json]
-                                        [--rounds-fast] [--pytest-arg ...]
-
-Gate the emitted file against the committed baseline with
-``benchmarks/check_regression.py``.
+    python benchmarks/emit_bench.py --suite sim
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import subprocess
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = "BENCH_sim.json"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-#: (fast engine, baseline engine) name pairs whose ratio is the
-#: headline speedup recorded by this harness.
-SPEEDUP_PAIRS = (
-    ("test_spmv_sim", "test_spmv_sim_reference"),
-    ("test_sptrsv_sim", "test_sptrsv_sim_reference"),
+from emit_bench import (  # noqa: F401,E402  (re-exported names)
+    SPEEDUP_PAIRS,
+    load_times,
 )
+from emit_bench import main as _main  # noqa: E402
 
-
-def load_times(path: Path) -> dict:
-    """Map short benchmark name -> best-round seconds from a JSON file.
-
-    Uses ``stats.min`` rather than the mean: the minimum over rounds is
-    the standard robust estimator for micro-benchmarks — transient
-    machine load only ever inflates timings, so the best round is the
-    closest observation of the true cost.
-    """
-    data = json.loads(path.read_text())
-    times = {}
-    for entry in data.get("benchmarks", []):
-        name = entry["name"].split("[")[0]
-        times[name] = entry["stats"]["min"]
-    return times
-
-
-def summarize(path: Path) -> int:
-    times = load_times(path)
-    if not times:
-        print(f"{path}: no benchmarks recorded", file=sys.stderr)
-        return 1
-    width = max(len(name) for name in times)
-    print(f"\n{path} (best of rounds):")
-    for name, best in sorted(times.items()):
-        print(f"  {name:<{width}}  {best * 1e3:9.2f} ms")
-    for fast, slow in SPEEDUP_PAIRS:
-        if fast in times and slow in times and times[fast] > 0:
-            kernel = fast.replace("test_", "").replace("_sim", "")
-            print(f"  {kernel} batched-engine speedup: "
-                  f"{times[slow] / times[fast]:.2f}x")
-    return 0
+DEFAULT_OUTPUT = "BENCH_sim.json"
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description=__doc__.splitlines()[0],
-    )
-    parser.add_argument(
-        "--output", default=DEFAULT_OUTPUT,
-        help="benchmark JSON path (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--summary-only", action="store_true",
-        help="summarize an existing JSON without re-running benchmarks",
-    )
-    parser.add_argument(
-        "--pytest-arg", action="append", default=[],
-        help="extra argument forwarded to pytest (repeatable)",
-    )
-    args = parser.parse_args(argv)
-    output = Path(args.output)
-
-    if not args.summary_only:
-        command = [
-            sys.executable, "-m", "pytest",
-            str(REPO_ROOT / "benchmarks" / "bench_kernels.py"),
-            "-m", "sim_engine",
-            "--benchmark-only",
-            "--benchmark-disable-gc",
-            f"--benchmark-json={output}",
-            "-q",
-        ] + args.pytest_arg
-        print("$", " ".join(command))
-        status = subprocess.call(command, cwd=REPO_ROOT)
-        if status != 0:
-            return status
-    if not output.exists():
-        print(f"{output}: not found", file=sys.stderr)
-        return 1
-    return summarize(output)
+    if argv is None:
+        argv = sys.argv[1:]
+    return _main(["--suite", "sim"] + list(argv))
 
 
 if __name__ == "__main__":

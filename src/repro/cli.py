@@ -125,6 +125,7 @@ def cmd_map(args):
         placement = mapper(
             matrix, lower, config.num_tiles,
             options=PartitionerOptions.speed(seed=0),
+            jobs=args.jobs,
         )
     else:
         placement = mapper(matrix, lower, config.num_tiles)
@@ -160,6 +161,7 @@ def cmd_simulate(args):
         placement = mapper(
             matrix, lower, config.num_tiles,
             options=PartitionerOptions.speed(seed=0),
+            jobs=args.jobs,
         )
     else:
         placement = mapper(matrix, lower, config.num_tiles)
@@ -284,6 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--cols", type=int, default=8)
     p_map.add_argument("--topology", default="torus",
                        choices=["torus", "mesh"], help="NoC topology")
+    p_map.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the partitioner's "
+                            "sub-bisections (result is identical)")
     p_map.set_defaults(func=cmd_map)
 
     p_sim = sub.add_parser("simulate", help="cycle-simulate PCG on Azul")
@@ -296,6 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--cols", type=int, default=8)
     p_sim.add_argument("--topology", default="torus",
                        choices=["torus", "mesh"], help="NoC topology")
+    p_sim.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the partitioner's "
+                            "sub-bisections (result is identical)")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")

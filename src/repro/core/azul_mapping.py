@@ -18,6 +18,8 @@ constraints combine SRAM bytes with the temporal depth quantiles of
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.placement import (
@@ -102,7 +104,8 @@ def build_pcg_hypergraph(matrix: CSRMatrix, lower: CSRMatrix,
 
 def map_azul(matrix: CSRMatrix, lower: CSRMatrix, n_tiles: int,
              q: int = 5, row_weight: float = DEFAULT_ROW_WEIGHT,
-             options: PartitionerOptions = None) -> Placement:
+             options: Optional[PartitionerOptions] = None,
+             jobs: Optional[int] = None) -> Placement:
     """Azul's data mapping: partition the PCG hypergraph over the tiles.
 
     Parameters
@@ -115,10 +118,14 @@ def map_azul(matrix: CSRMatrix, lower: CSRMatrix, n_tiles: int,
     options:
         Partitioner preset; defaults to
         :meth:`PartitionerOptions.quality` scaled-down default.
+    jobs:
+        Worker-process bound for the partitioner's independent
+        sub-bisections; ``None``/``1`` is serial.  Placements are
+        bit-identical regardless of ``jobs``.
     """
     hgraph = build_pcg_hypergraph(matrix, lower, q=q, row_weight=row_weight)
     options = options or PartitionerOptions(seed=0)
-    assignment = partition(hgraph, n_tiles, options)
+    assignment = partition(hgraph, n_tiles, options, jobs=jobs)
 
     vec_offset = matrix.nnz + lower.nnz
     placement = Placement(

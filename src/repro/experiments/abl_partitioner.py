@@ -49,7 +49,7 @@ def run(matrix: str = "consph", config: AzulConfig = None,
         start = time.perf_counter()
         placements.append(map_azul(
             prepared.matrix, prepared.lower, config.num_tiles,
-            options=make_options(seed=0),
+            options=make_options(seed=0), jobs=jobs,
         ))
         mapping_times.append(time.perf_counter() - start)
     timings = session.simulate_placements(

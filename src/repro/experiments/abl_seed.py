@@ -35,7 +35,7 @@ def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
     placements = [
         map_azul(
             prepared.matrix, prepared.lower, config.num_tiles,
-            options=PartitionerOptions.speed(seed=seed),
+            options=PartitionerOptions.speed(seed=seed), jobs=jobs,
         )
         for seed in seeds
     ]

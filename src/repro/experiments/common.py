@@ -59,8 +59,12 @@ SIMULATION_NAMESPACE = "simulations"
 #: Simulation ``v3`` admits parametric :class:`~repro.sim.PEModel`
 #: instances (keyed on their full parameter tuple, so a custom model
 #: can never alias a registered name) for the ablation sweeps served
-#: by :meth:`ExperimentSession.simulate_many`.
-PLACEMENT_SCHEMA = "v2"
+#: by :meth:`ExperimentSession.simulate_many`.  Placement ``v3``: the
+#: vectorized multilevel partitioner (per-branch seeded recursion,
+#: sort-based matching, strategy-based FM) produces different —
+#: equal-quality — assignments than the ``v2`` per-vertex
+#: implementation, so ``v2`` entries must never be reused.
+PLACEMENT_SCHEMA = "v3"
 SIMULATION_SCHEMA = "v3"
 
 #: Partitioner presets accepted by :func:`mapper_options`.
@@ -212,12 +216,15 @@ class ExperimentSession:
     # -- placement -----------------------------------------------------
     def placement(self, name: str, mapper: str, n_tiles: int = None, *,
                   scale: int = None, preset: str = None,
-                  use_cache: bool = None) -> Placement:
+                  use_cache: bool = None,
+                  jobs: int = None) -> Placement:
         """Map one prepared matrix with one strategy, with caching.
 
         Azul mappings additionally record their mapping wall-clock time
         in ``placement_seconds`` (used by the Sec. VI-D cost
-        comparison).
+        comparison).  ``jobs`` bounds the partitioner's worker pool for
+        independent sub-bisections; placements are bit-identical
+        regardless, so ``jobs`` is *not* part of the cache key.
         """
         _validate_choice("mapper", mapper, MAPPERS)
         n_tiles = self.config.num_tiles if n_tiles is None else int(n_tiles)
@@ -241,7 +248,7 @@ class ExperimentSession:
         if mapper == "azul":
             placement = mapper_fn(
                 prepared.matrix, prepared.lower, n_tiles,
-                options=mapper_options(preset),
+                options=mapper_options(preset), jobs=jobs,
             )
         else:
             placement = mapper_fn(prepared.matrix, prepared.lower, n_tiles)

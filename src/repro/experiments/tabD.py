@@ -18,8 +18,12 @@ MAPPINGS = ("block", "sparsep", "round_robin", "azul")
 
 
 def run(matrices=None, config: AzulConfig = None, scale: int = 1,
-        use_cache: bool = False) -> ExperimentResult:
-    """Measure mapping wall-clock seconds per matrix and strategy."""
+        use_cache: bool = False, jobs: int = None) -> ExperimentResult:
+    """Measure mapping wall-clock seconds per matrix and strategy.
+
+    ``jobs`` bounds the Azul partitioner's worker pool; the placements
+    (and hence everything downstream) are identical for any value.
+    """
     matrices = matrices or default_matrices()
     session = ExperimentSession(config, scale=scale)
     config = session.config
@@ -32,7 +36,7 @@ def run(matrices=None, config: AzulConfig = None, scale: int = 1,
         row = {"matrix": name}
         for mapping in MAPPINGS:
             placement = session.placement(
-                name, mapping, use_cache=use_cache,
+                name, mapping, use_cache=use_cache, jobs=jobs,
             )
             row[f"{mapping}_s"] = placement.placement_seconds
         result.add_row(**row)

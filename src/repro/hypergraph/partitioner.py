@@ -7,19 +7,51 @@ partition, uncoarsen with FM refinement at every level).
 
 Quality presets mirror PaToH's speed/default/quality knobs that the
 paper mentions in Sec. VI-D.
+
+Parallel recursion
+------------------
+After each bisection the left/right sub-problems are independent, so
+``partition(..., jobs=N)`` dispatches them through a bounded process
+pool.  Determinism is preserved by construction: every branch of the
+recursion tree draws its randomness from its *own* generator, seeded by
+``np.random.SeedSequence(options.seed, spawn_key=path)`` where ``path``
+is the tuple of 0/1 branch directions from the root — so the result
+depends only on ``(hypergraph, n_parts, options)`` and is bit-identical
+for ``jobs=1`` and any ``jobs=N`` (enforced by
+``tests/test_partitioner_equivalence.py``).  Worker or pool failures
+degrade gracefully to the serial path (mirroring ``repro.parallel``).
+
+Layer contract: ``partitioner`` is the top of the hypergraph stack
+(above ``coarsen``/``initial``/``refine``/``refine_vec``) and never
+imports ``repro.sim``/``repro.core``/``repro.experiments`` — callers
+resolve job counts and pass plain integers down.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import PartitionError
-from repro.hypergraph.coarsen import coarsen
+from repro.hypergraph.coarsen import (
+    DEFAULT_MATCHING_EDGE_SIZE_LIMIT,
+    coarsen,
+)
 from repro.hypergraph.hgraph import Hypergraph
-from repro.hypergraph.initial import greedy_bisect
+from repro.hypergraph.initial import (
+    DEFAULT_GROWTH_EDGE_SIZE_LIMIT,
+    greedy_bisect,
+)
 from repro.hypergraph.refine import fm_refine
+
+# Strategy modules self-register in refine.STRATEGIES at import time;
+# importing the vectorized module here keeps the registry complete for
+# direct ``partitioner`` imports too (refine itself must not import it:
+# layer contract).
+from repro.hypergraph import refine_vec as _refine_vec  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -29,6 +61,13 @@ class PartitionerOptions:
     ``epsilon`` is the allowed per-constraint imbalance (10% default,
     a common PaToH setting).  The quality presets trade cut quality for
     mapping time, mirroring the PaToH presets discussed in Sec. VI-D.
+
+    ``refine`` selects the FM bookkeeping strategy by name (``None`` =
+    the registry default: ``vectorized``, or ``reference`` when
+    ``AZUL_PART_REFERENCE=1``).  ``matching_edge_size_limit`` and
+    ``growth_edge_size_limit`` cap the hyperedge sizes scanned during
+    coarsening / region growing; larger edges carry negligible per-pin
+    connectivity and scanning them dominates runtime.
     """
 
     epsilon: float = 0.10
@@ -38,25 +77,52 @@ class PartitionerOptions:
     fm_passes: int = 2
     initial_tries: int = 4
     stall_limit: int = 64
+    refine: Optional[str] = None
+    matching_edge_size_limit: int = DEFAULT_MATCHING_EDGE_SIZE_LIMIT
+    growth_edge_size_limit: int = DEFAULT_GROWTH_EDGE_SIZE_LIMIT
 
     @classmethod
     def speed(cls, seed: int = 0) -> "PartitionerOptions":
-        """Fastest preset: fewer tries, one FM pass."""
-        return cls(seed=seed, fm_passes=1, initial_tries=2, stall_limit=32)
+        """Fastest preset: fewer tries, one FM pass, tight edge caps."""
+        return cls(
+            seed=seed, fm_passes=1, initial_tries=2, stall_limit=32,
+            matching_edge_size_limit=48, growth_edge_size_limit=128,
+        )
 
     @classmethod
     def quality(cls, seed: int = 0) -> "PartitionerOptions":
         """Highest-quality preset (the paper's choice, Sec. VI-D)."""
-        return cls(seed=seed, fm_passes=4, initial_tries=8, stall_limit=128)
+        return cls(
+            seed=seed, fm_passes=4, initial_tries=8, stall_limit=128,
+            matching_edge_size_limit=96, growth_edge_size_limit=512,
+        )
+
+
+def _branch_rng(options: PartitionerOptions,
+                path: Tuple[int, ...]) -> np.random.Generator:
+    """Generator for one branch of the recursion tree.
+
+    Seeded from ``(options.seed, path)`` so every branch's randomness
+    is independent of execution order — serial and parallel runs make
+    identical draws.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(options.seed, spawn_key=path)
+    )
 
 
 def partition(hgraph: Hypergraph, n_parts: int,
-              options: PartitionerOptions = None) -> np.ndarray:
+              options: Optional[PartitionerOptions] = None,
+              jobs: Optional[int] = None) -> np.ndarray:
     """Partition a hypergraph into ``n_parts`` parts.
 
     Returns an assignment array of length ``hgraph.n_vertices`` with
     values in ``[0, n_parts)``.  Balance is enforced per constraint to
     within ``1 + epsilon`` of ideal (plus single-vertex slack).
+
+    ``jobs`` bounds the process pool used for independent sub-
+    bisections; ``None`` or ``1`` runs serially.  Assignments are
+    bit-identical regardless of ``jobs``.
     """
     if n_parts < 1:
         raise PartitionError("n_parts must be positive")
@@ -64,39 +130,109 @@ def partition(hgraph: Hypergraph, n_parts: int,
     assignment = np.zeros(hgraph.n_vertices, dtype=np.int64)
     if n_parts == 1 or hgraph.n_vertices == 0:
         return assignment
-    rng = np.random.default_rng(options.seed)
     vertex_ids = np.arange(hgraph.n_vertices)
-    _recurse(hgraph, vertex_ids, n_parts, 0, assignment, options, rng)
+    if jobs is not None and jobs > 1:
+        try:
+            _recurse_parallel(
+                hgraph, vertex_ids, n_parts, 0, assignment, options, jobs
+            )
+            return assignment
+        except Exception:
+            # Pool construction or a worker died (resource limits,
+            # daemonic parent, ...): degrade to the serial path, which
+            # produces the identical assignment.
+            assignment = np.zeros(hgraph.n_vertices, dtype=np.int64)
+    _recurse(hgraph, vertex_ids, n_parts, 0, assignment, options, ())
     return assignment
+
+
+def _scatter_degenerate(vertex_ids: np.ndarray, n_parts: int,
+                        part_offset: int, assignment: np.ndarray) -> None:
+    """Round-robin scatter when there are no more vertices than parts."""
+    for i in range(len(vertex_ids)):
+        assignment[vertex_ids[i]] = part_offset + (i % n_parts)
 
 
 def _recurse(hgraph: Hypergraph, vertex_ids: np.ndarray, n_parts: int,
              part_offset: int, assignment: np.ndarray,
-             options: PartitionerOptions, rng: np.random.Generator):
+             options: PartitionerOptions, path: Tuple[int, ...]) -> None:
     """Recursively bisect ``hgraph`` and write final part ids."""
     if n_parts == 1:
         assignment[vertex_ids] = part_offset
         return
     if hgraph.n_vertices <= n_parts:
-        # Degenerate: scatter vertices round-robin over the parts.
-        for i in range(hgraph.n_vertices):
-            assignment[vertex_ids[i]] = part_offset + (i % n_parts)
+        _scatter_degenerate(vertex_ids, n_parts, part_offset, assignment)
         return
     k0 = n_parts // 2
     fraction = k0 / n_parts
-    side = multilevel_bisect(hgraph, fraction, options, rng)
+    side = multilevel_bisect(hgraph, fraction, options, _branch_rng(options, path))
 
     left_mask = side == 0
     left_ids = vertex_ids[left_mask]
     right_ids = vertex_ids[~left_mask]
-    left_sub, left_local = _induced(hgraph, left_mask)
-    right_sub, right_local = _induced(hgraph, ~left_mask)
-    del left_local, right_local
-    _recurse(left_sub, left_ids, k0, part_offset, assignment, options, rng)
-    _recurse(
-        right_sub, right_ids, n_parts - k0, part_offset + k0,
-        assignment, options, rng,
+    left_sub, _ = _induced(hgraph, left_mask)
+    right_sub, _ = _induced(hgraph, ~left_mask)
+    _recurse(left_sub, left_ids, k0, part_offset, assignment, options,
+             path + (0,))
+    _recurse(right_sub, right_ids, n_parts - k0, part_offset + k0,
+             assignment, options, path + (1,))
+
+
+def _bisect_worker(n_vertices: int, pins: np.ndarray, edge_ptr: np.ndarray,
+                   edge_weights: np.ndarray, vertex_weights: np.ndarray,
+                   fraction: float, options: PartitionerOptions,
+                   path: Tuple[int, ...]) -> np.ndarray:
+    """One multilevel bisection in a pool worker (flat-array payload)."""
+    hgraph = Hypergraph.from_flat(
+        n_vertices, pins, edge_ptr, edge_weights, vertex_weights
     )
+    return multilevel_bisect(hgraph, fraction, options, _branch_rng(options, path))
+
+
+def _recurse_parallel(hgraph: Hypergraph, vertex_ids: np.ndarray,
+                      n_parts: int, part_offset: int,
+                      assignment: np.ndarray, options: PartitionerOptions,
+                      jobs: int) -> None:
+    """Frontier-queue recursive bisection over a bounded process pool.
+
+    The parent keeps the recursion tree: it submits one
+    :func:`_bisect_worker` task per pending bisection, and on each
+    completion induces the two sub-hypergraphs and submits the children.
+    Base cases never touch the pool.
+    """
+    pending: Dict = {}
+
+    def submit(executor: ProcessPoolExecutor, sub: Hypergraph,
+               ids: np.ndarray, k: int, offset: int,
+               path: Tuple[int, ...]) -> None:
+        if k == 1:
+            assignment[ids] = offset
+            return
+        if sub.n_vertices <= k:
+            _scatter_degenerate(ids, k, offset, assignment)
+            return
+        fraction = (k // 2) / k
+        future = executor.submit(
+            _bisect_worker, sub.n_vertices, sub.pins, sub.edge_ptr,
+            sub.edge_weights, sub.vertex_weights, fraction, options, path,
+        )
+        pending[future] = (sub, ids, k, offset, path)
+
+    with ProcessPoolExecutor(max_workers=jobs) as executor:
+        submit(executor, hgraph, vertex_ids, n_parts, part_offset, ())
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                sub, ids, k, offset, path = pending.pop(future)
+                side = future.result()
+                k0 = k // 2
+                left_mask = side == 0
+                left_sub, _ = _induced(sub, left_mask)
+                right_sub, _ = _induced(sub, ~left_mask)
+                submit(executor, left_sub, ids[left_mask], k0, offset,
+                       path + (0,))
+                submit(executor, right_sub, ids[~left_mask], k - k0,
+                       offset + k0, path + (1,))
 
 
 def _induced(hgraph: Hypergraph, mask: np.ndarray):
@@ -124,7 +260,7 @@ def _induced(hgraph: Hypergraph, mask: np.ndarray):
     counts = csum[hgraph.edge_ptr[1:]] - csum[hgraph.edge_ptr[:-1]]
     keep_edge = counts >= 2
 
-    pin_edge = np.repeat(np.arange(hgraph.n_edges), hgraph.edge_sizes())
+    pin_edge = hgraph.pin_edge_ids()
     select = keep_pin & keep_edge[pin_edge]
     sub_sizes = counts[keep_edge]
     sub = Hypergraph.from_flat(
@@ -155,15 +291,18 @@ def multilevel_bisect(hgraph: Hypergraph, fraction: float,
         hgraph, rng,
         stop_at=options.coarsen_until,
         max_levels=options.max_coarsen_levels,
+        matching_edge_size_limit=options.matching_edge_size_limit,
     )
     coarsest = levels[-1]
     caps = _caps(coarsest, fraction, options.epsilon)
     side = greedy_bisect(
-        coarsest, fraction, caps[0], rng, tries=options.initial_tries
+        coarsest, fraction, caps[0], rng, tries=options.initial_tries,
+        edge_size_limit=options.growth_edge_size_limit,
     )
     side = fm_refine(
         coarsest, side, caps,
         passes=options.fm_passes, stall_limit=options.stall_limit,
+        refine=options.refine,
     )
     # Project back through the levels, refining at each.
     for level_index in range(len(mappings) - 1, -1, -1):
@@ -174,5 +313,6 @@ def multilevel_bisect(hgraph: Hypergraph, fraction: float,
         side = fm_refine(
             fine, side, caps,
             passes=options.fm_passes, stall_limit=options.stall_limit,
+            refine=options.refine,
         )
     return side

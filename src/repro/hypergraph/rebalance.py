@@ -10,6 +10,8 @@ cut the least.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.hypergraph.hgraph import Hypergraph
@@ -64,7 +66,8 @@ class _PartState:
 
 
 def rebalance(hgraph: Hypergraph, assignment: np.ndarray, n_parts: int,
-              epsilon: float = 0.10, max_moves: int = None) -> np.ndarray:
+              epsilon: float = 0.10,
+              max_moves: Optional[int] = None) -> np.ndarray:
     """Repair per-constraint balance with minimal cut growth.
 
     Returns the repaired assignment (a copy).  While any part exceeds

@@ -5,19 +5,121 @@ order (each at most once per pass), the best prefix of the move sequence
 is kept, and the rest rolled back.  Moves must respect per-constraint
 weight caps on the receiving side, which is how the multi-constraint
 balance of Sec. IV-C is enforced during refinement.
+
+Mirroring the simulator's issue layer (:mod:`repro.sim.issue`), the
+*bookkeeping* — how gains, cut counts, and boundaries are maintained —
+lives behind the :class:`RefineStrategy` interface while the selection
+loop (:func:`_fm_pass`) is shared, so every strategy makes identical
+move decisions:
+
+* :class:`ReferenceRefine` — the golden per-vertex Python model: gains
+  are recomputed from incident edges on demand.  Selected by
+  ``refine="reference"`` or ``AZUL_PART_REFERENCE=1``.
+* ``VectorizedRefine`` (:mod:`repro.hypergraph.refine_vec`, the
+  default) — CSR-array bookkeeping: vectorized cut-count/gain init,
+  O(degree) numpy delta-gain updates per move, vectorized boundary
+  extraction.
+
+Both strategies produce bit-identical assignments whenever hyperedge
+weights are dyadic rationals (every hypergraph the Azul mapping builds:
+integer-valued row/column weights and their coarsened sums), because
+then gain arithmetic is exact in either formulation; the deterministic
+``(-gain, vertex)`` tie-break does the rest.  This parity is enforced
+by ``tests/test_partitioner_equivalence.py``.
+
+New refinement schemes register themselves in :data:`STRATEGIES` (see
+``refine_vec`` for the idiom) and become selectable through
+``PartitionerOptions(refine=...)`` without touching the other layers.
+
+Layer contract: ``refine`` sits above ``hgraph`` and below
+``refine_vec``/``partitioner`` (see ``.importlinter`` and
+``tools/check_layers.py``).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from typing import Dict, List, Optional, Type
 
 import numpy as np
 
 from repro.hypergraph.hgraph import Hypergraph
 
+#: Environment variable selecting the golden reference refinement.
+REFERENCE_ENV = "AZUL_PART_REFERENCE"
+
+#: Registered refinement strategies by name.  ``refine.py`` never
+#: imports the modules that populate it (they import *us*): strategies
+#: self-register at import time, and the package ``__init__`` imports
+#: every strategy module, so the registry is always complete by the
+#: time user code runs.
+STRATEGIES: Dict[str, Type["RefineStrategy"]] = {}
+
+
+def register_strategy(cls: Type["RefineStrategy"]) -> Type["RefineStrategy"]:
+    """Class decorator: add a strategy to :data:`STRATEGIES`."""
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+def _env_wants_reference() -> bool:
+    return os.environ.get(REFERENCE_ENV, "") not in ("", "0")
+
+
+def default_refine_name() -> str:
+    """Strategy used when ``refine`` is unset: env override or fast."""
+    return "reference" if _env_wants_reference() else "vectorized"
+
+
+def resolve_refine(name: Optional[str] = None) -> Type["RefineStrategy"]:
+    """Map a ``refine`` name (or ``None`` = default) to its strategy."""
+    if name is None:
+        name = default_refine_name()
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown refine strategy {name!r}; "
+            f"choices: {', '.join(sorted(STRATEGIES))}"
+        ) from None
+
+
+class RefineStrategy:
+    """Interface: FM bookkeeping for one bisection refinement.
+
+    Subclasses provide :meth:`make_state`; the selection loop is shared
+    so strategies differ only in how they maintain gains and counts.
+    Strategies keep no cross-call state.
+    """
+
+    #: Strategy name this class implements (``refine=`` argument).
+    name: str = ""
+
+    def make_state(self, hgraph: Hypergraph,
+                   side: np.ndarray) -> "_BisectionState":
+        """Build the incremental cut/gain bookkeeping for a bisection."""
+        raise NotImplementedError
+
+    def refine(self, hgraph: Hypergraph, side: np.ndarray,
+               caps: np.ndarray, passes: int = 2,
+               stall_limit: int = 64) -> np.ndarray:
+        """Refine a bisection in place; returns the refined side array."""
+        state = self.make_state(hgraph, side)
+        for _ in range(passes):
+            if not _fm_pass(hgraph, state, caps, stall_limit):
+                break
+        return side
+
 
 class _BisectionState:
-    """Incremental cut/gain bookkeeping for one bisection."""
+    """Incremental cut/gain bookkeeping for one bisection (reference).
+
+    The per-vertex Python implementation: ``gain`` recomputes from the
+    incident edges on demand.  Subclasses (the vectorized strategy)
+    override the bookkeeping but must preserve the exact semantics of
+    every method — the shared :func:`_fm_pass` depends on it.
+    """
 
     def __init__(self, hgraph: Hypergraph, side: np.ndarray):
         self.hgraph = hgraph
@@ -41,6 +143,8 @@ class _BisectionState:
         for e in self.hgraph.vertex_edges(v):
             e = int(e)
             size = self.edge_sizes[e]
+            if size < 2:
+                continue  # single-pin edges can never be cut
             on_my_side = self.count0[e] if s == 0 else size - self.count0[e]
             if on_my_side == 1:
                 total += self.hgraph.edge_weights[e]  # move uncuts the edge
@@ -48,7 +152,7 @@ class _BisectionState:
                 total -= self.hgraph.edge_weights[e]  # move cuts the edge
         return total
 
-    def move(self, v: int):
+    def move(self, v: int) -> None:
         """Switch ``v``'s side, updating edge counts and part weights."""
         s = int(self.side[v])
         delta = -1 if s == 0 else 1
@@ -64,11 +168,51 @@ class _BisectionState:
         new_weight = (
             self.part_weights[destination] + self.hgraph.vertex_weights[v]
         )
-        return bool(np.all(new_weight <= caps[destination]))
+        return bool((new_weight <= caps[destination]).all())
+
+    def affected(self, v: int) -> List[int]:
+        """Vertices whose gain may change when ``v`` moves.
+
+        The pins of every edge incident to ``v`` (excluding ``v``),
+        unique and ascending — the dirty set re-pushed once per move
+        wave by :func:`_fm_pass`.
+        """
+        seen = set()
+        for e in self.hgraph.vertex_edges(v):
+            for u in self.hgraph.edge_pins(int(e)):
+                u = int(u)
+                if u != v:
+                    seen.add(u)
+        return sorted(seen)
+
+    def boundary_vertices(self) -> np.ndarray:
+        """Vertices incident to at least one cut edge (ascending)."""
+        hgraph = self.hgraph
+        sizes = self.edge_sizes
+        cut_edges = (self.count0 > 0) & (self.count0 < sizes)
+        boundary = np.zeros(hgraph.n_vertices, dtype=bool)
+        for e in np.nonzero(cut_edges)[0]:
+            boundary[hgraph.edge_pins(int(e))] = True
+        return np.nonzero(boundary)[0]
+
+
+@register_strategy
+class ReferenceRefine(RefineStrategy):
+    """The golden per-vertex Python FM model.
+
+    Selected by ``refine="reference"`` or ``AZUL_PART_REFERENCE=1``.
+    """
+
+    name = "reference"
+
+    def make_state(self, hgraph: Hypergraph,
+                   side: np.ndarray) -> _BisectionState:
+        return _BisectionState(hgraph, side)
 
 
 def fm_refine(hgraph: Hypergraph, side: np.ndarray, caps: np.ndarray,
-              passes: int = 2, stall_limit: int = 64) -> np.ndarray:
+              passes: int = 2, stall_limit: int = 64,
+              refine: Optional[str] = None) -> np.ndarray:
     """Refine a bisection in place; returns the refined side array.
 
     Parameters
@@ -81,34 +225,34 @@ def fm_refine(hgraph: Hypergraph, side: np.ndarray, caps: np.ndarray,
         Maximum number of full FM passes.
     stall_limit:
         A pass aborts after this many consecutive non-improving moves.
+    refine:
+        Strategy name; ``None`` resolves the default (``vectorized``
+        unless ``AZUL_PART_REFERENCE=1``).
     """
-    state = _BisectionState(hgraph, side)
-    for _ in range(passes):
-        improved = _fm_pass(hgraph, state, caps, stall_limit)
-        if not improved:
-            break
-    return side
-
-
-def _boundary_vertices(hgraph: Hypergraph, state: _BisectionState) -> np.ndarray:
-    """Vertices incident to at least one cut edge."""
-    sizes = state.edge_sizes
-    cut_edges = (state.count0 > 0) & (state.count0 < sizes)
-    boundary = np.zeros(hgraph.n_vertices, dtype=bool)
-    for e in np.nonzero(cut_edges)[0]:
-        boundary[hgraph.edge_pins(int(e))] = True
-    return np.nonzero(boundary)[0]
+    strategy = resolve_refine(refine)()
+    return strategy.refine(
+        hgraph, side, caps, passes=passes, stall_limit=stall_limit
+    )
 
 
 def _fm_pass(hgraph: Hypergraph, state: _BisectionState, caps: np.ndarray,
              stall_limit: int) -> bool:
-    """One FM pass; returns True if the cut improved."""
-    locked = np.zeros(hgraph.n_vertices, dtype=bool)
-    heap = []
-    for v in _boundary_vertices(hgraph, state):
-        heapq.heappush(heap, (-state.gain(int(v)), int(v)))
+    """One FM pass; returns True if the cut improved.
 
-    moves = []
+    Shared by every strategy: the lazy-deletion heap pops the highest
+    current gain (ties to the lowest vertex id), stale entries are
+    re-pushed with their current gain, and each move re-pushes its
+    dirty neighborhood *once* (``state.affected``) instead of flooding
+    the heap with one entry per (edge, pin) pair per move — the fix
+    for the historical quadratic heap churn on dense edges.
+    """
+    locked = np.zeros(hgraph.n_vertices, dtype=bool)
+    heap: List = []
+    for v in state.boundary_vertices():
+        v = int(v)
+        heapq.heappush(heap, (-state.gain(v), v))
+
+    moves: List[int] = []
     cumulative = 0.0
     best_cumulative = 0.0
     best_index = 0
@@ -136,12 +280,10 @@ def _fm_pass(hgraph: Hypergraph, state: _BisectionState, caps: np.ndarray,
             stall = 0
         else:
             stall += 1
-        # Neighbor gains changed: push fresh entries.
-        for e in hgraph.vertex_edges(v):
-            for u in hgraph.edge_pins(int(e)):
-                u = int(u)
-                if not locked[u]:
-                    heapq.heappush(heap, (-state.gain(u), u))
+        # Neighbor gains changed: one re-push per dirty vertex.
+        for u in state.affected(v):
+            if not locked[u]:
+                heapq.heappush(heap, (-state.gain(u), u))
 
     # Roll back every move after the best prefix.
     for v in reversed(moves[best_index:]):

@@ -1,0 +1,170 @@
+"""Vectorized CSR-array FM bookkeeping (the default refine strategy).
+
+The reference :class:`~repro.hypergraph.refine._BisectionState` walks
+Python loops over incident edges for every ``gain()`` call — and the
+shared selection loop calls ``gain()`` on every heap pop and every
+dirty-vertex re-push, so on dense hypergraphs the partitioner spends
+most of its time there.  This module replaces the bookkeeping with flat
+numpy arrays:
+
+* **init** — cut counts via one ``bincount`` over the flat pin array; a
+  maintained per-vertex ``gains`` array built by a single vectorized
+  pass over all (edge, pin) incidences.
+* **move** — O(degree) delta-gain updates: one :func:`ragged_take`
+  gather of the moved vertex's incident edges' pins, closed-form gain
+  deltas per pin, one ``np.add.at`` scatter.
+* **boundary / affected** — vectorized cut-edge masks over
+  ``pin_edge_ids`` instead of per-edge Python loops.
+
+The *selection* semantics are untouched: this class only overrides
+state bookkeeping, and :func:`repro.hypergraph.refine._fm_pass` drives
+both strategies identically.  Because Azul's hypergraphs carry dyadic
+edge weights (integers and their coarsened sums), the incremental
+delta-gain arithmetic here is bit-exact against the reference's
+recompute-from-scratch gains, so both strategies produce identical
+assignments (``tests/test_partitioner_equivalence.py``).
+
+Layer contract: ``refine_vec`` sits above ``refine`` and below
+``partitioner`` (see ``.importlinter`` and ``tools/check_layers.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hypergraph.hgraph import Hypergraph, ragged_take
+from repro.hypergraph.refine import (
+    RefineStrategy,
+    _BisectionState,
+    register_strategy,
+)
+
+
+class _CSRBisectionState(_BisectionState):
+    """CSR-array FM bookkeeping with a maintained per-vertex gain array.
+
+    Overrides every bookkeeping method of the reference state; the
+    semantics of each (documented there) are preserved exactly.
+    """
+
+    # pylint: disable=super-init-not-called
+    def __init__(self, hgraph: Hypergraph, side: np.ndarray):
+        self.hgraph = hgraph
+        self.side = side
+        self.edge_sizes = hgraph.edge_sizes()
+        pin_edge = hgraph.pin_edge_ids()
+        # Pins of each edge currently on side 0 (one bincount pass).
+        self.count0 = np.bincount(
+            pin_edge,
+            weights=(side[hgraph.pins] == 0).astype(np.float64),
+            minlength=hgraph.n_edges,
+        ).astype(np.int64)
+        self.part_weights = np.zeros((2, hgraph.n_constraints))
+        for s in (0, 1):
+            members = side == s
+            self.part_weights[s] = hgraph.vertex_weights[members].sum(axis=0)
+        # Per-vertex gains from one pass over all (edge, pin) slots:
+        # the moved-edge contribution of pin u is +w when u is the lone
+        # pin on its side (the move uncuts e) and -w when every pin of
+        # e sits on u's side (the move cuts e).
+        sz = self.edge_sizes[pin_edge]
+        c0 = self.count0[pin_edge]
+        on_my = np.where(side[hgraph.pins] == 0, c0, sz - c0)
+        contrib = hgraph.edge_weights[pin_edge] * (
+            (on_my == 1).astype(np.float64) - (on_my == sz)
+        )
+        self.gains = np.bincount(
+            hgraph.pins, weights=contrib, minlength=hgraph.n_vertices
+        )
+        # Incidence CSR, built once (the reference builds it lazily too).
+        self._ve_ptr, self._ve_ids = hgraph.incidence_arrays()
+        # Dirty-neighbor cache from the last move (reused by affected()).
+        self._last_move: int = -1
+        self._last_neighbors: Optional[np.ndarray] = None
+
+    # -- bookkeeping overrides ----------------------------------------
+    def gain(self, v: int) -> float:
+        """Cut reduction if ``v`` switches sides (O(1) lookup)."""
+        return float(self.gains[v])
+
+    def _incident(self, v: int) -> np.ndarray:
+        return self._ve_ids[self._ve_ptr[v]:self._ve_ptr[v + 1]]
+
+    def move(self, v: int) -> None:
+        """Switch ``v``'s side with O(degree) numpy delta-gain updates."""
+        hgraph = self.hgraph
+        s = int(self.side[v])
+        edges = self._incident(v)
+        lengths = self.edge_sizes[edges]
+        pv = ragged_take(hgraph.pins, hgraph.edge_ptr[edges], lengths)
+        pe = np.repeat(edges, lengths)
+
+        w = hgraph.edge_weights[pe]
+        sz = self.edge_sizes[pe]
+        c0 = self.count0[pe]
+        # Pre-move pin counts on v's side (cs) and the far side (ct).
+        cs = np.where(s == 0, c0, sz - c0)
+        ct = sz - cs
+        same = self.side[pv] == s
+        # Same-side pins: moving v away adds +w when v and u were the
+        # only same-side pins (u becomes lone: cs == 2) and +w when the
+        # edge was uncut on this side (u can no longer uncut for free:
+        # cs == sz, reclaiming the -w it carried).  Far-side pins lose
+        # -w when v joins a lone pin (ct == 1) or fills the edge
+        # (ct == sz - 1).
+        delta = np.where(
+            same,
+            w * ((cs == 2).astype(np.float64) + (cs == sz)),
+            -w * ((ct == 1).astype(np.float64) + (ct == sz - 1)),
+        )
+        not_v = pv != v
+        neighbors = pv[not_v]
+        np.add.at(self.gains, neighbors, delta[not_v])
+        # Every per-edge contribution of v itself flips sign exactly.
+        self.gains[v] = -self.gains[v]
+
+        self.count0[edges] += -1 if s == 0 else 1
+        self.part_weights[s] -= hgraph.vertex_weights[v]
+        self.part_weights[1 - s] += hgraph.vertex_weights[v]
+        self.side[v] = 1 - s
+
+        self._last_move = v
+        self._last_neighbors = neighbors
+
+    def affected(self, v: int) -> List[int]:
+        """Dirty set of ``v``: unique ascending neighbors (vectorized)."""
+        if v == self._last_move and self._last_neighbors is not None:
+            neighbors = self._last_neighbors
+        else:
+            hgraph = self.hgraph
+            edges = self._incident(v)
+            lengths = self.edge_sizes[edges]
+            pv = ragged_take(hgraph.pins, hgraph.edge_ptr[edges], lengths)
+            neighbors = pv[pv != v]
+        return np.unique(neighbors).tolist()
+
+    def boundary_vertices(self) -> np.ndarray:
+        """Vertices incident to at least one cut edge (vectorized)."""
+        hgraph = self.hgraph
+        cut_edges = (self.count0 > 0) & (self.count0 < self.edge_sizes)
+        mask = cut_edges[hgraph.pin_edge_ids()]
+        return np.unique(hgraph.pins[mask])
+
+
+@register_strategy
+class VectorizedRefine(RefineStrategy):
+    """CSR-array FM bookkeeping — the default strategy.
+
+    Bit-identical to :class:`~repro.hypergraph.refine.ReferenceRefine`
+    on dyadic-weight hypergraphs (every hypergraph the Azul mapping
+    builds); selected by default, or explicitly via
+    ``refine="vectorized"``.
+    """
+
+    name = "vectorized"
+
+    def make_state(self, hgraph: Hypergraph,
+                   side: np.ndarray) -> _CSRBisectionState:
+        return _CSRBisectionState(hgraph, side)

@@ -14,6 +14,7 @@ from repro.cache import ArtifactCache, MISS, NPZ
 from repro.config import AzulConfig
 from repro.experiments.common import (
     PLACEMENT_NAMESPACE,
+    PLACEMENT_SCHEMA,
     ExperimentSession,
 )
 
@@ -144,7 +145,7 @@ class TestCorruptionEndToEnd:
         healed = ArtifactCache.from_env(persist_stats=False)
         key = healed.key(
             "placement", "tmt_sym", 1, "block", TINY.num_tiles,
-            "speed", "v2",
+            "speed", PLACEMENT_SCHEMA,
         )
         assert healed.get(PLACEMENT_NAMESPACE, key, NPZ) is not MISS
 

@@ -1,22 +1,32 @@
 #!/usr/bin/env python
-"""Enforce the simulator-core layer contract without third-party tools.
+"""Enforce the repo's layer contracts without third-party tools.
 
 Mirrors the import-linter contracts in ``.importlinter`` (run in CI,
 where ``import-linter`` can be installed) so the same rules are
 checkable offline and in the test suite with nothing but the standard
 library:
 
-1. **Core layering** — within ``repro.sim`` the layers
-   ``events ← state ← fabric ← issue ← engine`` may only depend
+1. **Simulator-core layering** — within ``repro.sim`` the layers
+   ``events <- state <- fabric <- issue <- engine`` may only depend
    downward (``engine`` sees everything, ``events`` sees nothing).
-2. **comm independence** — ``repro.comm`` never imports ``repro.sim``
+2. **Hypergraph layering** — within ``repro.hypergraph`` the layers
+   ``hgraph <- metrics <- rebalance <- coarsen <- initial <- refine
+   <- refine_vec <- partitioner`` may only depend downward; the
+   ``RefineStrategy`` registry (``refine``) sits below the vectorized
+   implementation (``refine_vec``), which sits below the driver.
+3. **comm independence** — ``repro.comm`` never imports ``repro.sim``
    (geometries and trees stay simulator-agnostic).
-3. **dataflow independence** — ``repro.dataflow`` never imports
+4. **dataflow independence** — ``repro.dataflow`` never imports
    ``repro.sim.engine`` (programs are engine-neutral artifacts).
+5. **hypergraph independence** — ``repro.hypergraph`` never imports
+   the simulator, mapping core, experiments, or CLI: the partitioner
+   is a leaf library, callers pass ``jobs``/options down explicitly.
 
 The scan is purely static (``ast`` over every ``repro`` module);
 ``from x import y`` and ``import x`` are both resolved, including
-relative imports.  Exit code 0 = contract holds.
+relative imports.  Package ``__init__`` modules are exempt from the
+intra-package layering rule (they are the public facade and may
+re-export any layer).  Exit code 0 = contract holds.
 """
 
 from __future__ import annotations
@@ -24,23 +34,41 @@ from __future__ import annotations
 import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 
-#: Bottom-up layer order of the simulator core.  A module may import
-#: only itself and strictly lower layers.
-SIM_LAYERS = ["events", "state", "fabric", "issue", "engine"]
+#: Bottom-up layer order per layered package.  Within a package a
+#: module may import only itself and strictly lower layers.
+LAYERED_PACKAGES: Dict[str, List[str]] = {
+    "repro.sim": ["events", "state", "fabric", "issue", "engine"],
+    "repro.hypergraph": [
+        "hgraph", "metrics", "rebalance", "coarsen", "initial",
+        "refine", "refine_vec", "partitioner",
+    ],
+}
+
+#: Back-compat alias (historical public name for the sim-only rule).
+SIM_LAYERS = LAYERED_PACKAGES["repro.sim"]
 
 #: (importer-prefix, forbidden-import-prefix, reason)
 FORBIDDEN: List[Tuple[str, str, str]] = [
     ("repro.comm", "repro.sim",
      "comm is the geometry/tree layer; it must not know the simulator"),
     ("repro.dataflow", "repro.sim.engine",
-     "dataflow programs are engine-neutral; only the composition root "
-     "may bind them to an engine"),
+     "dataflow programs are engine-neutral artifacts; only the "
+     "composition root may bind them to an engine"),
     ("repro.sim", "repro.cli",
      "the simulator never reaches into the CLI"),
+    ("repro.hypergraph", "repro.sim",
+     "the partitioner is a leaf library; it must not know the "
+     "simulator"),
+    ("repro.hypergraph", "repro.core",
+     "the partitioner is below the mapping core, not above it"),
+    ("repro.hypergraph", "repro.experiments",
+     "the partitioner never reaches into the experiment pipeline"),
+    ("repro.hypergraph", "repro.cli",
+     "the partitioner never reaches into the CLI"),
 ]
 
 
@@ -75,15 +103,18 @@ def _imports(path: Path, module: str) -> Iterator[Tuple[int, str]]:
                 yield node.lineno, target
 
 
-def _sim_layer(module: str) -> int:
-    """Layer index of a ``repro.sim`` core module, else -1."""
+def _layer(module: str) -> Optional[Tuple[str, int]]:
+    """``(package, layer-index)`` of a layered-package module, else None."""
     parts = module.split(".")
-    if len(parts) >= 3 and parts[0] == "repro" and parts[1] == "sim":
-        try:
-            return SIM_LAYERS.index(parts[2])
-        except ValueError:
-            return -1
-    return -1
+    for package, layers in LAYERED_PACKAGES.items():
+        package_parts = package.split(".")
+        depth = len(package_parts)
+        if len(parts) >= depth + 1 and parts[:depth] == package_parts:
+            try:
+                return package, layers.index(parts[depth])
+            except ValueError:
+                return None
+    return None
 
 
 def check(src: Path = SRC) -> List[str]:
@@ -91,19 +122,23 @@ def check(src: Path = SRC) -> List[str]:
     violations: List[str] = []
     for path in sorted(src.rglob("*.py")):
         module = _module_name(path)
-        importer_layer = _sim_layer(module)
+        importer = None if path.name == "__init__.py" else _layer(module)
         for lineno, target in _imports(path, module):
             where = f"{path.relative_to(src.parent)}:{lineno}"
-            # Rule 1: strict layering inside the simulator core.
-            target_layer = _sim_layer(target)
-            if importer_layer != -1 and target_layer != -1 \
-                    and target_layer > importer_layer:
+            # Rule 1/2: strict layering inside each layered package.
+            target_layer = _layer(target)
+            if (importer is not None and target_layer is not None
+                    and importer[0] == target_layer[0]
+                    and target_layer[1] > importer[1]):
+                package = importer[0]
+                layers = LAYERED_PACKAGES[package]
                 violations.append(
                     f"{where}: {module} (layer "
-                    f"'{SIM_LAYERS[importer_layer]}') imports {target} "
-                    f"(higher layer '{SIM_LAYERS[target_layer]}')"
+                    f"'{layers[importer[1]]}') imports {target} "
+                    f"(higher {package} layer "
+                    f"'{layers[target_layer[1]]}')"
                 )
-            # Rule 2/3: forbidden cross-package edges.
+            # Rule 3+: forbidden cross-package edges.
             for src_prefix, bad_prefix, reason in FORBIDDEN:
                 if (module == src_prefix
                         or module.startswith(src_prefix + ".")) and (
@@ -122,8 +157,11 @@ def main() -> int:
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
         return 1
-    print("layer contract OK "
-          f"(sim core: {' <- '.join(SIM_LAYERS)}; "
+    summaries = "; ".join(
+        f"{package}: {' <- '.join(layers)}"
+        for package, layers in LAYERED_PACKAGES.items()
+    )
+    print(f"layer contract OK ({summaries}; "
           f"{len(FORBIDDEN)} cross-package rules)")
     return 0
 
