@@ -189,3 +189,46 @@ def test_sptrsv_sim_reference(benchmark, sptrsv_sim_setup):
     ).run(b=b)
     assert batched.cycles == reference.cycles
     assert np.array_equal(batched.output, reference.output)
+
+
+@pytest.mark.sim_engine
+def test_obs_disabled_overhead(benchmark, spmv_sim_setup):
+    """Disabled-observability overhead guard (<5% of a kernel sim).
+
+    The facade's no-op paths are what the pipeline pays when ``--trace``
+    / ``--metrics`` are not given.  One pipeline run makes a few dozen
+    obs calls; this times 1,000 of them (counters, spans, timers —
+    ~30x more than any real run) and asserts the total stays under 5%
+    of one SpMV kernel simulation, so the disabled facade can never
+    become a measurable tax.
+    """
+    import time
+
+    import repro.obs as obs
+
+    program, torus, config, x = spmv_sim_setup
+    obs.disable()
+
+    def disabled_calls(n=1_000):
+        for _ in range(n):
+            obs.counter("guard.counter")
+            with obs.span("guard.span"):
+                pass
+            with obs.timer("guard.timer"):
+                pass
+
+    benchmark.pedantic(disabled_calls, rounds=5, iterations=1)
+
+    start = time.perf_counter()
+    disabled_calls()
+    obs_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    KernelSimulator(
+        program, torus, config, AZUL_PE, engine="batched"
+    ).run(x=x)
+    sim_seconds = time.perf_counter() - start
+    assert obs_seconds < 0.05 * sim_seconds, (
+        f"1k disabled obs calls took {obs_seconds * 1e3:.2f} ms vs "
+        f"{sim_seconds * 1e3:.2f} ms for one kernel simulation"
+    )
+    assert obs.snapshot()["counters"] == {}

@@ -51,6 +51,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 
+import repro.obs as obs
 from repro.cache.keys import content_checksum, stable_digest
 from repro.cache.serializers import Serializer
 
@@ -578,6 +579,10 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     def _count(self, counter: str, flush: bool = False):
         setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        # Mirror into the observability registry (no-op when disabled)
+        # so metrics artifacts report the same counters stats.json
+        # accumulates.
+        obs.counter(f"cache.{counter}")
         if not self.persist_stats:
             return
         setattr(self._unflushed, counter,

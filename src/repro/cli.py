@@ -214,6 +214,12 @@ def cmd_run(args):
         argv += ["--csv-dir", args.csv_dir]
     if args.cache_stats:
         argv.append("--cache-stats")
+    if args.trace is not None:
+        argv += ["--trace", args.trace]
+    if args.metrics is not None:
+        argv.append("--metrics")
+        if args.metrics:
+            argv.append(args.metrics)
     return runner.main(argv)
 
 
@@ -328,6 +334,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--cache-stats", action="store_true",
                        help="print artifact-cache statistics after the "
                             "runs")
+    p_run.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace of the runs to PATH "
+                            "(load at ui.perfetto.dev)")
+    p_run.add_argument("--metrics", nargs="?", const="", default=None,
+                       metavar="PATH",
+                       help="write a JSON metrics artifact (default "
+                            "PATH: <csv-dir>/metrics.json)")
     p_run.set_defaults(func=cmd_run)
 
     p_cache = sub.add_parser("cache", help="inspect/maintain the "

@@ -11,7 +11,74 @@ self-consistent.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+#: Environment escape hatches, consolidated (see :func:`overrides`).
+#: These names are the single documented surface; the owning modules
+#: (``repro.sim.engine``, ``repro.hypergraph.refine``,
+#: ``repro.cache.store``, ``repro.parallel``) alias them.
+ENV_SIM_REFERENCE = "AZUL_SIM_REFERENCE"
+ENV_PART_REFERENCE = "AZUL_PART_REFERENCE"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+ENV_JOBS = "REPRO_JOBS"
+
+
+def env_truthy(value: Optional[str]) -> bool:
+    """Shared truthiness rule for boolean environment escape hatches."""
+    if value is None:
+        return False
+    return str(value).strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def overrides() -> Dict[str, Dict[str, Any]]:
+    """Effective values of every environment escape hatch.
+
+    One documented surface over the engine/refine/cache/jobs knobs:
+    each entry reports the raw environment value (``None`` when unset)
+    and the *effective* setting the pipeline resolves it to.  Emitted
+    into every metrics artifact so runs are self-describing.
+    """
+    from repro.cache.store import DEFAULT_MAX_BYTES, default_cache_root
+    from repro.parallel import default_jobs
+
+    sim_raw = os.environ.get(ENV_SIM_REFERENCE)
+    part_raw = os.environ.get(ENV_PART_REFERENCE)
+    dir_raw = os.environ.get(ENV_CACHE_DIR)
+    max_raw = os.environ.get(ENV_CACHE_MAX_BYTES)
+    disable_raw = os.environ.get(ENV_CACHE_DISABLE)
+    jobs_raw = os.environ.get(ENV_JOBS)
+    try:
+        max_bytes = int(max_raw) if max_raw else DEFAULT_MAX_BYTES
+    except ValueError:
+        max_bytes = DEFAULT_MAX_BYTES
+    return {
+        ENV_SIM_REFERENCE: {
+            "raw": sim_raw,
+            "effective": (
+                "reference" if env_truthy(sim_raw) else "batched"
+            ),
+        },
+        ENV_PART_REFERENCE: {
+            "raw": part_raw,
+            "effective": (
+                "reference" if env_truthy(part_raw) else "vectorized"
+            ),
+        },
+        ENV_CACHE_DIR: {
+            "raw": dir_raw,
+            "effective": dir_raw or str(default_cache_root()),
+        },
+        ENV_CACHE_MAX_BYTES: {"raw": max_raw, "effective": max_bytes},
+        ENV_CACHE_DISABLE: {
+            "raw": disable_raw,
+            "effective": env_truthy(disable_raw),
+        },
+        ENV_JOBS: {"raw": jobs_raw, "effective": default_jobs()},
+    }
 
 
 @dataclass(frozen=True)

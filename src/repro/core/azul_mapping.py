@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.placement import (
     PCG_VECTORS_PER_INDEX,
     Placement,
@@ -123,9 +124,13 @@ def map_azul(matrix: CSRMatrix, lower: CSRMatrix, n_tiles: int,
         sub-bisections; ``None``/``1`` is serial.  Placements are
         bit-identical regardless of ``jobs``.
     """
-    hgraph = build_pcg_hypergraph(matrix, lower, q=q, row_weight=row_weight)
+    with obs.timer("place.build_hypergraph"):
+        hgraph = build_pcg_hypergraph(matrix, lower, q=q,
+                                      row_weight=row_weight)
     options = options or PartitionerOptions(seed=0)
-    assignment = partition(hgraph, n_tiles, options, jobs=jobs)
+    with obs.timer("place.partition", n_tiles=n_tiles,
+                   n_vertices=hgraph.n_vertices):
+        assignment = partition(hgraph, n_tiles, options, jobs=jobs)
 
     vec_offset = matrix.nnz + lower.nnz
     placement = Placement(

@@ -24,9 +24,20 @@ its caches::
 Mapper / PE / matrix / preset names are validated eagerly against the
 registries with actionable messages (including close-match hints).
 
-The module-level free functions :func:`prepare`, :func:`get_placement`
-and :func:`simulate` are retained as deprecated wrappers and will be
-removed in a future release.
+The pre-1.x module-level free functions (``prepare`` /
+``get_placement`` / ``simulate``) have been removed; the session
+facade is the only entry point.
+
+Observability
+-------------
+Every pipeline stage is instrumented through :mod:`repro.obs` (no-ops
+unless enabled): ``pipeline.prepare`` / ``pipeline.place`` /
+``pipeline.simulate`` timers+spans, cache counters from
+:mod:`repro.cache`, and — when tracing is enabled — simulator issue
+traces bridged into the Chrome-trace export.  ``simulate(...,
+trace=True)`` (default: :func:`repro.obs.tracing_enabled`) records
+per-op issue logs; :meth:`ExperimentSession.export_trace` /
+:meth:`export_metrics` write the artifacts.
 """
 
 from __future__ import annotations
@@ -34,11 +45,11 @@ from __future__ import annotations
 import difflib
 import threading
 import time
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.cache import MISS, NPZ, PICKLE, ArtifactCache
 from repro.config import AzulConfig
 from repro.core import MAPPERS, Placement, get_mapper
@@ -63,9 +74,13 @@ SIMULATION_NAMESPACE = "simulations"
 #: vectorized multilevel partitioner (per-branch seeded recursion,
 #: sort-based matching, strategy-based FM) produces different —
 #: equal-quality — assignments than the ``v2`` per-vertex
-#: implementation, so ``v2`` entries must never be reused.
+#: implementation, so ``v2`` entries must never be reused.  Simulation
+#: ``v4``: :class:`~repro.sim.KernelResult` gained ``n_tiles`` (pre-v4
+#: pickles lack the field) and the cache key now includes the
+#: ``trace`` flag, so results carrying per-op issue logs never alias
+#: untraced ones.
 PLACEMENT_SCHEMA = "v3"
-SIMULATION_SCHEMA = "v3"
+SIMULATION_SCHEMA = "v4"
 
 #: Partitioner presets accepted by :func:`mapper_options`.
 PRESETS = ("speed", "quality", "default")
@@ -190,6 +205,9 @@ class ExperimentSession:
         self.preset = preset
         self.use_cache = bool(use_cache)
         self.cache = cache if cache is not None else ArtifactCache.default()
+        #: Simulation keys whose issue traces were already bridged into
+        #: the Chrome-trace export (cache hits must not duplicate them).
+        self._bridged_traces: set = set()
 
     # -- preparation ---------------------------------------------------
     def prepare(self, name: str, scale: int = None) -> PreparedMatrix:
@@ -204,12 +222,13 @@ class ExperimentSession:
             prepared = _PREPARED.get(key)
         if prepared is not None:
             return prepared
-        matrix, b = get_suite_matrix(name, scale=scale)
-        permuted, permuted_b, _ = color_and_permute(matrix, b)
-        prepared = PreparedMatrix(
-            name=name, scale=scale, matrix=permuted,
-            lower=ic0(permuted), b=permuted_b,
-        )
+        with obs.timer("pipeline.prepare", matrix=name, scale=scale):
+            matrix, b = get_suite_matrix(name, scale=scale)
+            permuted, permuted_b, _ = color_and_permute(matrix, b)
+            prepared = PreparedMatrix(
+                name=name, scale=scale, matrix=permuted,
+                lower=ic0(permuted), b=permuted_b,
+            )
         with _PREPARED_LOCK:
             return _PREPARED.setdefault(key, prepared)
 
@@ -245,13 +264,16 @@ class ExperimentSession:
         prepared = self.prepare(name, scale)
         mapper_fn = get_mapper(mapper)
         start = time.perf_counter()
-        if mapper == "azul":
-            placement = mapper_fn(
-                prepared.matrix, prepared.lower, n_tiles,
-                options=mapper_options(preset), jobs=jobs,
-            )
-        else:
-            placement = mapper_fn(prepared.matrix, prepared.lower, n_tiles)
+        with obs.timer("pipeline.place", matrix=name, mapper=mapper,
+                       n_tiles=n_tiles):
+            if mapper == "azul":
+                placement = mapper_fn(
+                    prepared.matrix, prepared.lower, n_tiles,
+                    options=mapper_options(preset), jobs=jobs,
+                )
+            else:
+                placement = mapper_fn(prepared.matrix, prepared.lower,
+                                      n_tiles)
         seconds = time.perf_counter() - start
         placement.placement_seconds = seconds
         if use_cache:
@@ -283,24 +305,28 @@ class ExperimentSession:
     # -- simulation ----------------------------------------------------
     def simulation_key(self, name: str, mapper: str = "azul",
                        pe="azul", *, scale: int = None, preset: str = None,
-                       check: bool = True, config: AzulConfig = None) -> str:
+                       check: bool = True, config: AzulConfig = None,
+                       trace: bool = False) -> str:
         """The artifact-cache key one :meth:`simulate` call resolves to.
 
         Exposed so sweep executors (:mod:`repro.parallel`) can
         short-circuit cache hits and deduplicate in-flight points
-        before spawning any worker.
+        before spawning any worker.  ``trace`` is part of the key:
+        traced results carry per-op issue logs and must never alias
+        untraced entries.
         """
         scale = self.scale if scale is None else int(scale)
         preset = self.preset if preset is None else preset
         config = self.config if config is None else config
         return self.cache.key(
             "simulate", name, scale, mapper, _pe_key_part(pe), preset,
-            bool(check), config.cache_key(), SIMULATION_SCHEMA,
+            bool(check), bool(trace), config.cache_key(), SIMULATION_SCHEMA,
         )
 
     def simulate(self, name: str, mapper: str = "azul", pe="azul",
                  *, scale: int = None, preset: str = None,
-                 check: bool = True, use_cache: bool = None):
+                 check: bool = True, use_cache: bool = None,
+                 trace: bool = None):
         """Simulate one steady-state PCG iteration (cached).
 
         Results live in the in-memory tier (identity-preserving within
@@ -309,6 +335,11 @@ class ExperimentSession:
         processes skip re-simulation entirely.  ``pe`` accepts a
         registered model name or a :class:`~repro.sim.PEModel`
         instance (ablation sweeps construct synthetic PEs).
+
+        ``trace`` records per-op issue logs in the kernel results and
+        bridges them into the Chrome-trace export (see
+        :mod:`repro.obs`); it defaults to
+        :func:`repro.obs.tracing_enabled`.
         """
         _validate_choice("mapper", mapper, MAPPERS)
         if not isinstance(pe, PEModel):
@@ -317,13 +348,17 @@ class ExperimentSession:
         preset = self.preset if preset is None else preset
         _validate_choice("preset", preset, PRESETS)
         use_cache = self.use_cache if use_cache is None else bool(use_cache)
+        trace = obs.tracing_enabled() if trace is None else bool(trace)
 
         key = self.simulation_key(
             name, mapper, pe, scale=scale, preset=preset, check=check,
+            trace=trace,
         )
         if use_cache:
             cached = self.cache.get(SIMULATION_NAMESPACE, key, PICKLE)
             if cached is not MISS:
+                if trace:
+                    self._bridge_trace(key, f"{name}/{mapper}", cached)
                 return cached
 
         prepared = self.prepare(name, scale)
@@ -333,12 +368,16 @@ class ExperimentSession:
         )
         model = pe if isinstance(pe, PEModel) else pe_model_by_name(pe)
         machine = AzulMachine(self.config, model)
-        result = machine.simulate_pcg(
-            prepared.matrix, prepared.lower, placement, prepared.b,
-            check=check,
-        )
+        with obs.timer("pipeline.simulate", matrix=name, mapper=mapper,
+                       pe=str(getattr(pe, "name", pe)), trace=trace):
+            result = machine.simulate_pcg(
+                prepared.matrix, prepared.lower, placement, prepared.b,
+                check=check, record_issue_trace=trace,
+            )
         if use_cache:
             self.cache.put(SIMULATION_NAMESPACE, key, result, PICKLE)
+        if trace:
+            self._bridge_trace(key, f"{name}/{mapper}", result)
         return result
 
     def simulate_many(self, points, jobs: int = None, *,
@@ -384,64 +423,53 @@ class ExperimentSession:
         """Live counters of this session's artifact cache."""
         return self.cache.stats
 
+    def _bridge_trace(self, key: str, label: str, result) -> None:
+        """Bridge one simulation's issue logs into the trace export.
+
+        Each kernel result becomes its own Chrome-trace process
+        (timestamps are machine cycles, not wall-clock, so they must
+        not share the pipeline timeline).  Keyed on the simulation
+        cache key so cache hits and sweep duplicates bridge once.
+        """
+        if not obs.tracing_enabled() or key in self._bridged_traces:
+            return
+        from repro.sim.trace import chrome_trace_events
+
+        kernel_results = getattr(result, "kernel_results", None)
+        if kernel_results is None:
+            kernel_results = [result]
+        events = []
+        for kernel in kernel_results:
+            if not getattr(kernel, "issue_trace", None):
+                continue
+            pid = obs.allocate_pid(f"{label}:{kernel.name} (cycles)")
+            events.extend(chrome_trace_events(kernel, pid))
+        if events:
+            obs.add_trace_events(events)
+            self._bridged_traces.add(key)
+
+    def _overrides_extra(self) -> dict:
+        """Environment overrides + cache stats block for exports."""
+        from repro.config import overrides
+
+        return {
+            "overrides": overrides(),
+            "cache": self.cache.stats.as_dict(),
+        }
+
+    def export_metrics(self, path) -> str:
+        """Write the metrics-registry snapshot (plus effective env
+        overrides and this session's cache counters) as JSON."""
+        return obs.write_metrics(path, extra=self._overrides_extra())
+
+    def export_trace(self, path) -> str:
+        """Write the collected spans + bridged simulator issue events
+        as a Chrome-trace JSON (loadable at ui.perfetto.dev)."""
+        return obs.write_chrome_trace(path, metadata=self._overrides_extra())
+
     def __repr__(self):
         return (
             f"ExperimentSession(config={self.config.mesh_rows}x"
             f"{self.config.mesh_cols}, scale={self.scale}, "
             f"preset={self.preset!r}, cache={str(self.cache.root)!r})"
         )
-
-
-# ----------------------------------------------------------------------
-# Deprecated free-function wrappers (kept for one release)
-# ----------------------------------------------------------------------
-_SESSIONS: dict = {}
-_SESSIONS_LOCK = threading.Lock()
-
-
-def _wrapper_session(config: AzulConfig = None) -> ExperimentSession:
-    """Shared session registry backing the deprecated wrappers."""
-    config = config if config is not None else default_experiment_config()
-    cache = ArtifactCache.default()
-    key = (id(cache), config)
-    with _SESSIONS_LOCK:
-        session = _SESSIONS.get(key)
-        if session is None:
-            session = ExperimentSession(config, cache=cache)
-            _SESSIONS[key] = session
-        return session
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.experiments.common.{old} is deprecated; use "
-        f"ExperimentSession.{new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def prepare(name: str, scale: int = 1) -> PreparedMatrix:
-    """Deprecated: use :meth:`ExperimentSession.prepare`."""
-    _deprecated("prepare()", "prepare()")
-    return _wrapper_session().prepare(name, scale)
-
-
-def get_placement(name: str, mapper: str, n_tiles: int, scale: int = 1,
-                  preset: str = "speed", use_cache: bool = True) -> Placement:
-    """Deprecated: use :meth:`ExperimentSession.placement`."""
-    _deprecated("get_placement()", "placement()")
-    return _wrapper_session().placement(
-        name, mapper, n_tiles, scale=scale, preset=preset,
-        use_cache=use_cache,
-    )
-
-
-def simulate(name: str, mapper: str = "azul", pe: str = "azul",
-             config: AzulConfig = None, scale: int = 1,
-             preset: str = "speed", check: bool = True):
-    """Deprecated: use :meth:`ExperimentSession.simulate`."""
-    _deprecated("simulate()", "simulate()")
-    return _wrapper_session(config).simulate(
-        name, mapper, pe, scale=scale, preset=preset, check=check,
-    )

@@ -100,6 +100,17 @@ def main(argv=None):
         help="worker processes for sweep-parallel experiments "
              "(default: serial; REPRO_JOBS also honored)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a Chrome trace (pipeline spans + simulator issue "
+             "events) and write it to PATH (load at ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics", nargs="?", const="", default=None, metavar="PATH",
+        help="collect metrics (counters / per-phase timers) and write a "
+             "JSON artifact (default PATH: <csv-dir>/metrics.json or "
+             "./metrics.json)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for experiment_id in EXPERIMENTS:
@@ -108,6 +119,13 @@ def main(argv=None):
     ids = args.ids or list(EXPERIMENTS)
     if args.csv_dir:
         os.makedirs(args.csv_dir, exist_ok=True)
+
+    observe = args.trace is not None or args.metrics is not None
+    if observe:
+        import repro.obs as obs
+
+        obs.enable(metrics=True, tracing=args.trace is not None)
+
     for experiment_id in ids:
         start = time.perf_counter()
         result = run_experiment(experiment_id, jobs=args.jobs)
@@ -119,6 +137,10 @@ def main(argv=None):
             result.to_csv(
                 os.path.join(args.csv_dir, f"{experiment_id}.csv")
             )
+
+    if observe:
+        _export_observability(args, ids)
+
     if args.cache_stats:
         from repro.cache import ArtifactCache
         from repro.perf import format_cache_stats
@@ -126,6 +148,29 @@ def main(argv=None):
         cache = ArtifactCache.default()
         print(format_cache_stats(cache.stats, cache.inventory()))
     return 0
+
+
+def _export_observability(args, ids) -> None:
+    """Write the trace / metrics artifacts collected during the runs."""
+    import repro.obs as obs
+    from repro.cache import ArtifactCache
+    from repro.config import overrides
+
+    extra = {
+        "experiments": list(ids),
+        "overrides": overrides(),
+        "cache": ArtifactCache.default().stats.as_dict(),
+    }
+    if args.trace is not None:
+        obs.write_chrome_trace(args.trace, metadata=extra)
+        print(f"[trace written to {args.trace}]")
+    if args.metrics is not None:
+        path = args.metrics
+        if not path:
+            path = (os.path.join(args.csv_dir, "metrics.json")
+                    if args.csv_dir else "metrics.json")
+        obs.write_metrics(path, extra=extra)
+        print(f"[metrics written to {path}]")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import PartitionError
 from repro.hypergraph.coarsen import (
     DEFAULT_MATCHING_EDGE_SIZE_LIMIT,
@@ -286,33 +287,47 @@ def _caps(hgraph: Hypergraph, fraction: float, epsilon: float) -> np.ndarray:
 def multilevel_bisect(hgraph: Hypergraph, fraction: float,
                       options: PartitionerOptions,
                       rng: np.random.Generator) -> np.ndarray:
-    """One multilevel bisection: coarsen, initial partition, refine up."""
-    levels, mappings = coarsen(
-        hgraph, rng,
-        stop_at=options.coarsen_until,
-        max_levels=options.max_coarsen_levels,
-        matching_edge_size_limit=options.matching_edge_size_limit,
-    )
-    coarsest = levels[-1]
-    caps = _caps(coarsest, fraction, options.epsilon)
-    side = greedy_bisect(
-        coarsest, fraction, caps[0], rng, tries=options.initial_tries,
-        edge_size_limit=options.growth_edge_size_limit,
-    )
-    side = fm_refine(
-        coarsest, side, caps,
-        passes=options.fm_passes, stall_limit=options.stall_limit,
-        refine=options.refine,
-    )
-    # Project back through the levels, refining at each.
-    for level_index in range(len(mappings) - 1, -1, -1):
-        fine = levels[level_index]
-        mapping = mappings[level_index]
-        side = side[mapping]
-        caps = _caps(fine, fraction, options.epsilon)
-        side = fm_refine(
-            fine, side, caps,
-            passes=options.fm_passes, stall_limit=options.stall_limit,
-            refine=options.refine,
-        )
+    """One multilevel bisection: coarsen, initial partition, refine up.
+
+    Each phase is wrapped in an :func:`repro.obs.timer` — the
+    ``partition.coarsen`` / ``partition.initial`` / ``partition.refine``
+    histograms and spans of the observability layer.  With
+    observability disabled (the default) each wrapper is a single flag
+    check; the phase bodies are untouched.
+    """
+    with obs.timer("partition.bisect", n_vertices=hgraph.n_vertices):
+        with obs.timer("partition.coarsen"):
+            levels, mappings = coarsen(
+                hgraph, rng,
+                stop_at=options.coarsen_until,
+                max_levels=options.max_coarsen_levels,
+                matching_edge_size_limit=options.matching_edge_size_limit,
+            )
+        coarsest = levels[-1]
+        caps = _caps(coarsest, fraction, options.epsilon)
+        with obs.timer("partition.initial"):
+            side = greedy_bisect(
+                coarsest, fraction, caps[0], rng,
+                tries=options.initial_tries,
+                edge_size_limit=options.growth_edge_size_limit,
+            )
+        with obs.timer("partition.refine"):
+            side = fm_refine(
+                coarsest, side, caps,
+                passes=options.fm_passes, stall_limit=options.stall_limit,
+                refine=options.refine,
+            )
+        # Project back through the levels, refining at each.
+        for level_index in range(len(mappings) - 1, -1, -1):
+            fine = levels[level_index]
+            mapping = mappings[level_index]
+            side = side[mapping]
+            caps = _caps(fine, fraction, options.epsilon)
+            with obs.timer("partition.refine"):
+                side = fm_refine(
+                    fine, side, caps,
+                    passes=options.fm_passes,
+                    stall_limit=options.stall_limit,
+                    refine=options.refine,
+                )
     return side

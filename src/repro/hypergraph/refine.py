@@ -44,10 +44,13 @@ from typing import Dict, List, Optional, Type
 
 import numpy as np
 
+from repro.config import ENV_PART_REFERENCE, env_truthy
 from repro.hypergraph.hgraph import Hypergraph
 
-#: Environment variable selecting the golden reference refinement.
-REFERENCE_ENV = "AZUL_PART_REFERENCE"
+#: Environment variable selecting the golden reference refinement
+#: (canonical name lives in :mod:`repro.config`; see
+#: :func:`repro.config.overrides`).
+REFERENCE_ENV = ENV_PART_REFERENCE
 
 #: Registered refinement strategies by name.  ``refine.py`` never
 #: imports the modules that populate it (they import *us*): strategies
@@ -64,7 +67,7 @@ def register_strategy(cls: Type["RefineStrategy"]) -> Type["RefineStrategy"]:
 
 
 def _env_wants_reference() -> bool:
-    return os.environ.get(REFERENCE_ENV, "") not in ("", "0")
+    return env_truthy(os.environ.get(REFERENCE_ENV))
 
 
 def default_refine_name() -> str:

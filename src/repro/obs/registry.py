@@ -1,0 +1,124 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is deliberately tiny and dependency-free (standard
+library only — ``repro.obs`` is a leaf package every other layer may
+import).  It is *not* a sampling profiler: instrumentation sites call
+:meth:`MetricsRegistry.counter_inc` / :meth:`gauge_set` /
+:meth:`observe` explicitly, and the module facade (:mod:`repro.obs`)
+short-circuits every call when observability is disabled, so the
+registry only ever runs when someone asked for telemetry.
+
+Histograms keep streaming aggregates (count/sum/min/max) plus a
+bounded reservoir of raw samples — enough for the metrics artifact to
+report means and tails without unbounded memory on long sweeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Raw samples kept per histogram (aggregates are exact regardless).
+HISTOGRAM_SAMPLE_CAP = 512
+
+
+@dataclass
+class Histogram:
+    """Streaming aggregate of observed values (e.g. phase seconds)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    samples: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name -> value store for one process.
+
+    Metric names are dotted paths grouped by subsystem
+    (``cache.hits_disk``, ``partition.coarsen.seconds``,
+    ``sweep.points``); see ``docs/observability.md`` for the taxonomy.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- writes --------------------------------------------------------
+    def counter_inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` (default 1) to a monotonic counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set a last-value-wins gauge."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a histogram."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(float(value))
+
+    # -- reads ---------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge_value(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram for ``name`` (empty if never observed)."""
+        with self._lock:
+            return self._histograms.get(name, Histogram())
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A JSON-ready copy of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (tests / between runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -32,15 +32,13 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
+import repro.obs as obs
 from repro.cache import MISS, PICKLE
-from repro.config import AzulConfig
+from repro.config import ENV_JOBS, AzulConfig
 from repro.sim.pe import PEModel
 
 __all__ = ["SimPoint", "simulate_many", "simulate_placements",
-           "default_jobs"]
-
-#: Environment knob consulted when ``jobs`` is not given explicitly.
-ENV_JOBS = "REPRO_JOBS"
+           "default_jobs", "ENV_JOBS"]
 
 #: Sentinel marking a worker failure (distinct from any result).
 _FAILED = object()
@@ -63,6 +61,10 @@ class SimPoint:
     preset: Optional[str] = None
     check: bool = True
     config: Optional[AzulConfig] = None
+    #: Record per-op issue traces; ``None`` follows the parent's
+    #: :func:`repro.obs.tracing_enabled` (workers never inherit obs
+    #: enablement, so the resolved flag travels in the spec).
+    trace: Optional[bool] = None
 
 
 def default_jobs() -> int:
@@ -100,6 +102,8 @@ def _resolve(session, point: SimPoint) -> dict:
         "check": bool(point.check),
         "config": session.config if point.config is None else point.config,
         "use_cache": session.use_cache,
+        "trace": (obs.tracing_enabled() if point.trace is None
+                  else bool(point.trace)),
     }
 
 
@@ -118,6 +122,7 @@ def _compute_in_worker(spec: dict):
     )
     return session.simulate(
         spec["name"], spec["mapper"], spec["pe"], check=spec["check"],
+        trace=spec["trace"],
     )
 
 
@@ -135,7 +140,7 @@ def _compute_serial(session, spec: dict, use_cache: bool):
     return sub.simulate(
         spec["name"], spec["mapper"], spec["pe"],
         scale=spec["scale"], preset=spec["preset"],
-        check=spec["check"], use_cache=use_cache,
+        check=spec["check"], use_cache=use_cache, trace=spec["trace"],
     )
 
 
@@ -210,51 +215,69 @@ def simulate_many(session, points, jobs: Optional[int] = None, *,
             spec["name"], spec["mapper"], spec["pe"],
             scale=spec["scale"], preset=spec["preset"],
             check=spec["check"], config=spec["config"],
+            trace=spec["trace"],
         )
         for spec in specs
     ]
+    with obs.span("sweep.simulate_many", points=len(points),
+                  jobs=jobs) as sweep_span:
+        # Deduplicate in-flight keys: one computation per unique key.
+        by_key: Dict[str, List[int]] = {}
+        for index, key in enumerate(keys):
+            by_key.setdefault(key, []).append(index)
 
-    # Deduplicate in-flight keys: one computation per unique key.
-    by_key: Dict[str, List[int]] = {}
-    for index, key in enumerate(keys):
-        by_key.setdefault(key, []).append(index)
+        results: List = [None] * len(points)
+        info = {
+            "points": len(points),
+            "unique": len(by_key),
+            "deduplicated": len(points) - len(by_key),
+            "cache_hits": 0,
+            "computed_parallel": 0,
+            "computed_serial": 0,
+            "worker_failures": 0,
+        }
 
-    results: List = [None] * len(points)
-    info = {
-        "points": len(points),
-        "unique": len(by_key),
-        "deduplicated": len(points) - len(by_key),
-        "cache_hits": 0,
-        "computed_parallel": 0,
-        "computed_serial": 0,
-        "worker_failures": 0,
-    }
+        # Cache short-circuit before any worker spawns.
+        pending = []
+        for key, indices in by_key.items():
+            if use_cache:
+                cached = session.cache.get(SIMULATION_NAMESPACE, key, PICKLE)
+                if cached is not MISS:
+                    info["cache_hits"] += 1
+                    spec = specs[indices[0]]
+                    if spec["trace"]:
+                        session._bridge_trace(
+                            key, f"{spec['name']}/{spec['mapper']}", cached,
+                        )
+                    for index in indices:
+                        results[index] = cached
+                    continue
+            pending.append((key, indices, specs[indices[0]]))
 
-    # Cache short-circuit before any worker spawns.
-    pending = []
-    for key, indices in by_key.items():
-        if use_cache:
-            cached = session.cache.get(SIMULATION_NAMESPACE, key, PICKLE)
-            if cached is not MISS:
-                info["cache_hits"] += 1
+        if pending:
+            computed = (
+                _run_pool(pending, jobs, info)
+                if jobs > 1 and len(pending) > 1
+                else {}
+            )
+            for key, indices, spec in pending:
+                value = computed.get(key, _FAILED)
+                if value is _FAILED:
+                    value = _compute_serial(session, spec, use_cache)
+                    info["computed_serial"] += 1
+                elif spec["trace"]:
+                    # Workers don't inherit obs enablement; issue logs
+                    # travel back in the result and the parent bridges.
+                    session._bridge_trace(
+                        key, f"{spec['name']}/{spec['mapper']}", value,
+                    )
                 for index in indices:
-                    results[index] = cached
-                continue
-        pending.append((key, indices, specs[indices[0]]))
+                    results[index] = value
 
-    if pending:
-        computed = (
-            _run_pool(pending, jobs, info)
-            if jobs > 1 and len(pending) > 1
-            else {}
-        )
-        for key, indices, spec in pending:
-            value = computed.get(key, _FAILED)
-            if value is _FAILED:
-                value = _compute_serial(session, spec, use_cache)
-                info["computed_serial"] += 1
-            for index in indices:
-                results[index] = value
+        sweep_span.set(**info)
+
+    for counter_name, value in info.items():
+        obs.counter(f"sweep.{counter_name}", value)
 
     if stats is not None:
         stats.update(info)
@@ -287,6 +310,7 @@ def _simulate_placement_in_worker(spec: dict):
     return machine.simulate_pcg(
         prepared.matrix, prepared.lower, placement, prepared.b,
         check=spec["check"], multicast=spec["multicast"],
+        record_issue_trace=spec["trace"],
     )
 
 
@@ -324,6 +348,7 @@ def simulate_placements(session, name: Optional[str], placements: Sequence,
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     scale = session.scale if scale is None else int(scale)
     config = session.config
+    trace = obs.tracing_enabled()
 
     specs = []
     keys = []
@@ -353,6 +378,7 @@ def simulate_placements(session, name: Optional[str], placements: Sequence,
             "multicast": point_multicast,
             "config": config,
             "use_cache": use_cache,
+            "trace": trace,
             "n_tiles": placement.n_tiles,
             "a_tile": placement.a_tile,
             "l_tile": placement.l_tile,
@@ -361,7 +387,7 @@ def simulate_placements(session, name: Optional[str], placements: Sequence,
         })
         keys.append(session.cache.key(
             "simulate_placement", point_name, scale, _pe_key_part(point_pe),
-            point_check, point_multicast, config.cache_key(),
+            point_check, point_multicast, trace, config.cache_key(),
             placement.a_tile, placement.l_tile, placement.vec_tile,
             SIMULATION_SCHEMA,
         ))
@@ -383,35 +409,52 @@ def simulate_placements(session, name: Optional[str], placements: Sequence,
 
     from repro.cache import PICKLE as _PICKLE  # local alias for clarity
 
-    pending = []
-    for key, indices in by_key.items():
-        if use_cache:
-            cached = session.cache.get(SIMULATION_NAMESPACE, key, _PICKLE)
-            if cached is not MISS:
-                info["cache_hits"] += 1
-                for index in indices:
-                    results[index] = cached
-                continue
-        pending.append((key, indices, specs[indices[0]]))
-
-    if pending:
-        computed = (
-            _run_pool(pending, jobs, info,
-                      worker=_simulate_placement_in_worker)
-            if jobs > 1 and len(pending) > 1
-            else {}
-        )
-        for key, indices, spec in pending:
-            value = computed.get(key, _FAILED)
-            if value is _FAILED:
-                value = _simulate_placement_in_worker(spec)
-                info["computed_serial"] += 1
+    with obs.span("sweep.simulate_placements", points=len(specs),
+                  jobs=jobs) as sweep_span:
+        pending = []
+        for key, indices in by_key.items():
             if use_cache:
-                # Placement-keyed results are cached by the parent (the
-                # worker has no session-level key for them).
-                session.cache.put(SIMULATION_NAMESPACE, key, value, _PICKLE)
-            for index in indices:
-                results[index] = value
+                cached = session.cache.get(SIMULATION_NAMESPACE, key, _PICKLE)
+                if cached is not MISS:
+                    info["cache_hits"] += 1
+                    if trace:
+                        spec = specs[indices[0]]
+                        session._bridge_trace(
+                            key, f"{spec['name']}/{spec['mapper']}", cached,
+                        )
+                    for index in indices:
+                        results[index] = cached
+                    continue
+            pending.append((key, indices, specs[indices[0]]))
+
+        if pending:
+            computed = (
+                _run_pool(pending, jobs, info,
+                          worker=_simulate_placement_in_worker)
+                if jobs > 1 and len(pending) > 1
+                else {}
+            )
+            for key, indices, spec in pending:
+                value = computed.get(key, _FAILED)
+                if value is _FAILED:
+                    value = _simulate_placement_in_worker(spec)
+                    info["computed_serial"] += 1
+                if use_cache:
+                    # Placement-keyed results are cached by the parent (the
+                    # worker has no session-level key for them).
+                    session.cache.put(SIMULATION_NAMESPACE, key, value,
+                                      _PICKLE)
+                if trace:
+                    session._bridge_trace(
+                        key, f"{spec['name']}/{spec['mapper']}", value,
+                    )
+                for index in indices:
+                    results[index] = value
+
+        sweep_span.set(**info)
+
+    for counter_name, value in info.items():
+        obs.counter(f"sweep.{counter_name}", value)
 
     if stats is not None:
         stats.update(info)

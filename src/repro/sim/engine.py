@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.config import AzulConfig
+from repro.config import AzulConfig, ENV_SIM_REFERENCE, env_truthy
 from repro.dataflow.kernel_program import KernelProgram
 from repro.errors import SimulationError
 from repro.sim.events import EV_PUMP, EventQueue, drain
@@ -34,13 +34,14 @@ from repro.sim.issue import (
 from repro.sim.pe import PEModel
 from repro.sim.state import T_MUL, T_SAAC, T_SEND, KernelState
 
-#: Environment variable selecting the per-op golden engine.
-REFERENCE_ENV = "AZUL_SIM_REFERENCE"
+#: Environment variable selecting the per-op golden engine
+#: (canonical name lives in :mod:`repro.config`; see
+#: :func:`repro.config.overrides`).
+REFERENCE_ENV = ENV_SIM_REFERENCE
 
 
 def _env_wants_reference() -> bool:
-    value = os.environ.get(REFERENCE_ENV, "")
-    return value.strip().lower() not in ("", "0", "false", "no", "off")
+    return env_truthy(os.environ.get(REFERENCE_ENV))
 
 
 @dataclass
@@ -54,7 +55,9 @@ class KernelResult:
     activations per directed link; ``spills`` messages that overflowed
     the register buffer into the Data SRAM; ``issue_trace`` (when
     recording was requested) one ``(cycle, tile, op_kind)`` tuple per
-    issued operation, for timeline/heatmap analysis.
+    issued operation, for timeline/heatmap analysis.  ``n_tiles``
+    records the simulated machine's tile count so the trace helpers in
+    :mod:`repro.sim.trace` need no redundant caller-side geometry.
     """
 
     name: str
@@ -68,6 +71,9 @@ class KernelResult:
     #: Total cycles flits waited for busy links (congestion measure)
     link_queue_delay: int = 0
     issue_trace: Optional[List[Tuple[int, int, int]]] = None
+    #: Tile count of the machine that produced this result (``None``
+    #: only on results unpickled from pre-v4 cache entries).
+    n_tiles: Optional[int] = None
 
     def flops(self) -> int:
         """FLOPs executed, including distribution-overhead Adds.
@@ -219,6 +225,7 @@ class KernelSimulator:
             spills=state.spills,
             link_queue_delay=fabric.queue_delay,
             issue_trace=self.issue_trace,
+            n_tiles=self.geometry.n_tiles,
         )
 
     # ------------------------------------------------------------------

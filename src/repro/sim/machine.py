@@ -119,26 +119,36 @@ class AzulMachine:
             multicast=multicast,
         )
 
-    def run_kernel(self, program_kernel, x=None, b=None) -> KernelResult:
+    def run_kernel(self, program_kernel, x=None, b=None,
+                   record_issue_trace: bool = False) -> KernelResult:
         """Simulate a single compiled kernel."""
         simulator = KernelSimulator(
-            program_kernel, self.torus, self.config, self.pe
+            program_kernel, self.torus, self.config, self.pe,
+            record_issue_trace=record_issue_trace,
         )
         return simulator.run(x=x, b=b)
 
     # ------------------------------------------------------------------
     def simulate_iteration(self, program: PCGIterationProgram,
-                           p: np.ndarray, r: np.ndarray) -> IterationResult:
+                           p: np.ndarray, r: np.ndarray,
+                           record_issue_trace: bool = False
+                           ) -> IterationResult:
         """Simulate one PCG iteration's kernels on representative vectors.
 
         ``p`` feeds the SpMV; ``r`` feeds the preconditioner solves.
         The numeric outputs are returned inside the kernel results so
-        callers can verify them against the reference kernels.
+        callers can verify them against the reference kernels.  With
+        ``record_issue_trace`` each kernel result carries its per-op
+        issue log (see :mod:`repro.sim.trace`).
         """
-        spmv_result = self.run_kernel(program.spmv, x=p)
-        forward_result = self.run_kernel(program.sptrsv_lower, b=r)
+        record = record_issue_trace
+        spmv_result = self.run_kernel(program.spmv, x=p,
+                                      record_issue_trace=record)
+        forward_result = self.run_kernel(program.sptrsv_lower, b=r,
+                                         record_issue_trace=record)
         backward_result = self.run_kernel(
-            program.sptrsv_upper, b=forward_result.output
+            program.sptrsv_upper, b=forward_result.output,
+            record_issue_trace=record,
         )
         vector_cycles = program.vector_phase.cycles()
         kernel_results = [spmv_result, forward_result, backward_result]
@@ -155,16 +165,21 @@ class AzulMachine:
     def simulate_pcg(self, matrix: CSRMatrix, lower: CSRMatrix,
                      placement: Placement, b: np.ndarray,
                      check: bool = True,
-                     multicast: str = "tree") -> IterationResult:
+                     multicast: str = "tree",
+                     record_issue_trace: bool = False) -> IterationResult:
         """Compile and simulate one steady-state PCG iteration.
 
         When ``check`` is true, the dataflow outputs are verified
         against the reference kernels (the paper's functional check
-        against Ginkgo, Sec. VI-A).
+        against Ginkgo, Sec. VI-A).  ``record_issue_trace`` forwards to
+        each kernel simulation (the Fig. 17 timeline / Chrome-trace
+        inputs).
         """
         program = self.compile(matrix, lower, placement,
                                multicast=multicast)
-        result = self.simulate_iteration(program, p=b, r=b)
+        result = self.simulate_iteration(
+            program, p=b, r=b, record_issue_trace=record_issue_trace,
+        )
         if check:
             verify_iteration(result, matrix, lower, b)
         return result

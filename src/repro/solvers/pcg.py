@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ConvergenceError
 from repro.precond.base import Preconditioner
 from repro.precond.identity import IdentityPreconditioner
@@ -41,6 +42,24 @@ def pcg(matrix: CSRMatrix, b, preconditioner: Preconditioner = None,
         :class:`~repro.errors.ConvergenceError` instead of returning an
         unconverged result.
     """
+    with obs.timer("pipeline.solve", solver="pcg", n=matrix.n_rows) as ph:
+        result = _pcg(matrix, b, preconditioner, options, x0)
+        ph.set(iterations=result.iterations, converged=result.converged)
+    obs.counter("solve.pcg.calls")
+    obs.counter("solve.pcg.iterations", result.iterations)
+    if raise_on_divergence and not result.converged:
+        raise ConvergenceError(
+            f"PCG did not converge in "
+            f"{(options or SolveOptions()).max_iterations} iterations "
+            f"(residual {result.residual_norm:g})",
+            result=result,
+        )
+    return result
+
+
+def _pcg(matrix: CSRMatrix, b, preconditioner: Preconditioner = None,
+         options: SolveOptions = None, x0=None) -> SolveResult:
+    """The Listing 1 loop (see :func:`pcg` for the public contract)."""
     options = options or SolveOptions()
     preconditioner = preconditioner or IdentityPreconditioner()
     b = np.asarray(b, dtype=np.float64)
@@ -94,7 +113,7 @@ def pcg(matrix: CSRMatrix, b, preconditioner: Preconditioner = None,
             history.record(residual_norm)
         converged = residual_norm <= threshold
 
-    result = SolveResult(
+    return SolveResult(
         x=x,
         converged=converged,
         iterations=iterations,
@@ -102,10 +121,3 @@ def pcg(matrix: CSRMatrix, b, preconditioner: Preconditioner = None,
         history=history,
         flops=counter.snapshot(),
     )
-    if raise_on_divergence and not converged:
-        raise ConvergenceError(
-            f"PCG did not converge in {options.max_iterations} iterations "
-            f"(residual {residual_norm:g})",
-            result=result,
-        )
-    return result

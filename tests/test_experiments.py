@@ -24,12 +24,7 @@ from repro.experiments import (
     tab4,
     tab5,
 )
-from repro.experiments.common import (
-    ExperimentSession,
-    get_placement,
-    prepare,
-    simulate,
-)
+from repro.experiments.common import ExperimentSession
 
 SMALL = ["offshore", "tmt_sym"]
 TINY_CONFIG = AzulConfig(mesh_rows=4, mesh_cols=4)
@@ -67,26 +62,18 @@ class TestCommon:
         assert first is second
 
 
-class TestDeprecatedWrappers:
-    """The pre-session free functions still work but warn."""
+class TestDeprecatedWrappersRemoved:
+    """The pre-1.x free functions are gone; the session is the API."""
 
-    def test_prepare_warns(self):
-        with pytest.warns(DeprecationWarning, match="ExperimentSession"):
-            prepared = prepare("tmt_sym", 1)
-        assert prepared.matrix.n_rows > 0
+    def test_free_functions_removed(self):
+        import repro.experiments.common as common
 
-    def test_get_placement_warns(self):
-        with pytest.warns(DeprecationWarning, match="ExperimentSession"):
-            placement = get_placement("tmt_sym", "block", 16)
-        assert len(placement.a_tile) > 0
-
-    def test_simulate_warns_and_matches_session(self):
-        with pytest.warns(DeprecationWarning, match="ExperimentSession"):
-            legacy = simulate("tmt_sym", mapper="block", pe="azul",
-                              config=TINY_CONFIG)
-        session = ExperimentSession(TINY_CONFIG)
-        modern = session.simulate("tmt_sym", mapper="block", pe="azul")
-        assert legacy is modern
+        for gone in ("prepare", "get_placement", "simulate",
+                     "_wrapper_session", "_deprecated"):
+            assert not hasattr(common, gone), (
+                f"removed wrapper {gone} resurfaced in "
+                f"repro.experiments.common"
+            )
 
 
 class TestRunner:

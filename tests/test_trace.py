@@ -1,5 +1,7 @@
 """Tests for simulator trace analysis."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,7 @@ from repro.dataflow import build_spmv_program
 from repro.precond import ic0
 from repro.sim import AZUL_PE, KernelSimulator
 from repro.sim.trace import (
+    chrome_trace_events,
     export_trace_csv,
     idle_tail_fraction,
     link_heatmap,
@@ -90,3 +93,58 @@ class TestTraceAnalysis:
         )
         with pytest.raises(ValueError):
             utilization_timeline(result, 4)
+
+
+class TestDerivedNTiles:
+    """Helpers derive ``n_tiles`` from the result since schema v4."""
+
+    def test_helpers_work_without_n_tiles_arg(self, traced_result):
+        result, _ = traced_result
+        assert result.n_tiles == 16
+        timeline = utilization_timeline(result, n_buckets=10)
+        assert (timeline == utilization_timeline(result, 16,
+                                                 n_buckets=10)).all()
+        assert tile_activity(result).sum() == sum(
+            result.op_counts.values()
+        )
+        assert op_mix_by_tile(result).shape == (16, 4)
+        assert 0.0 <= idle_tail_fraction(result) <= 1.0
+
+    def test_pre_v4_result_needs_explicit_n_tiles(self, traced_result):
+        result, _ = traced_result
+        legacy = dataclasses.replace(result, n_tiles=None)
+        with pytest.raises(ValueError, match="n_tiles"):
+            tile_activity(legacy)
+        assert tile_activity(legacy, 16).sum() == sum(
+            legacy.op_counts.values()
+        )
+
+
+class TestChromeTraceEvents:
+    def test_events_schema(self, traced_result):
+        result, _ = traced_result
+        events = chrome_trace_events(result, pid=7)
+        summary, ops = events[0], events[1:]
+        assert summary["ph"] == "X"
+        assert summary["pid"] == 7
+        assert summary["args"]["kernel"] == result.name
+        assert summary["args"]["cycles"] == result.cycles
+        assert ops
+        for event in ops:
+            assert event["ph"] == "X"
+            assert event["cat"] == "issue"
+            assert event["pid"] == 7
+            assert 0 <= event["tid"] < 16
+            assert 0 <= event["ts"] <= result.cycles
+
+    def test_event_cap_downsamples(self, traced_result):
+        result, _ = traced_result
+        capped = chrome_trace_events(result, pid=1, cap=10)
+        assert len(capped) - 1 <= 10
+        assert capped[0]["args"]["issue_events_dropped"] > 0
+
+    def test_requires_trace(self, traced_result):
+        result, _ = traced_result
+        untraced = dataclasses.replace(result, issue_trace=None)
+        with pytest.raises(ValueError):
+            chrome_trace_events(untraced, pid=1)

@@ -21,6 +21,9 @@ library:
 5. **hypergraph independence** — ``repro.hypergraph`` never imports
    the simulator, mapping core, experiments, or CLI: the partitioner
    is a leaf library, callers pass ``jobs``/options down explicitly.
+6. **obs is a leaf** — ``repro.obs`` imports nothing from ``repro``
+   outside itself (standard library only), so every layer may
+   instrument itself through it without creating cycles.
 
 The scan is purely static (``ast`` over every ``repro`` module);
 ``from x import y`` and ``import x`` are both resolved, including
@@ -50,6 +53,13 @@ LAYERED_PACKAGES: Dict[str, List[str]] = {
 
 #: Back-compat alias (historical public name for the sim-only rule).
 SIM_LAYERS = LAYERED_PACKAGES["repro.sim"]
+
+#: Leaf packages: their modules may import nothing from ``repro``
+#: outside the package itself (standard library / third-party only).
+LEAF_PACKAGES: Dict[str, str] = {
+    "repro.obs": "obs is the observability leaf every layer may import; "
+                 "it must not import any repro layer back",
+}
 
 #: (importer-prefix, forbidden-import-prefix, reason)
 FORBIDDEN: List[Tuple[str, str, str]] = [
@@ -147,6 +157,16 @@ def check(src: Path = SRC) -> List[str]:
                     violations.append(
                         f"{where}: {module} imports {target} ({reason})"
                     )
+            # Leaf packages: no repro import outside the package.
+            for package, reason in LEAF_PACKAGES.items():
+                if (module == package
+                        or module.startswith(package + ".")) and (
+                        target.split(".")[0] == "repro"
+                        and target != package
+                        and not target.startswith(package + ".")):
+                    violations.append(
+                        f"{where}: {module} imports {target} ({reason})"
+                    )
     return violations
 
 
@@ -162,7 +182,9 @@ def main() -> int:
         for package, layers in LAYERED_PACKAGES.items()
     )
     print(f"layer contract OK ({summaries}; "
-          f"{len(FORBIDDEN)} cross-package rules)")
+          f"{len(FORBIDDEN)} cross-package rules; "
+          f"{len(LEAF_PACKAGES)} leaf package(s): "
+          f"{', '.join(LEAF_PACKAGES)})")
     return 0
 
 
