@@ -15,6 +15,10 @@ Suites:
   the vectorized vs reference FM refinement strategies, plus the
   largest-suite-matrix (BenElechi1) partition the Sec. VI-D cost study
   tracks.
+* ``solver`` — the ``solver_kernels`` marker set in
+  ``benchmarks/bench_solver.py``: level-scheduled vs reference SpTRSV,
+  IC(0), and end-to-end PCG on the largest solver-suite matrix
+  (BenElechi1 scaled 4x).
 
 Usage::
 
@@ -57,6 +61,24 @@ SUITES = {
             ("test_mapping_quality", "test_mapping_quality_reference"),
         ),
         "pair_label": "vectorized-FM",
+    },
+    "solver": {
+        "bench_file": "bench_solver.py",
+        "marker": "solver_kernels",
+        "default_output": "BENCH_solver.json",
+        "speedup_pairs": (
+            ("test_sptrsv_level", "test_sptrsv_reference"),
+            ("test_ic0_level", "test_ic0_reference"),
+            ("test_pcg_level", "test_pcg_reference"),
+        ),
+        # The warm SpTRSV pair carries the suite's 5x floor; the IC(0)
+        # and end-to-end PCG pairs keep their own conservative floors
+        # (schedule builds amortize per factor, not per call).
+        "pair_floors": {
+            "test_ic0_level": 3.0,
+            "test_pcg_level": 1.5,
+        },
+        "pair_label": "level-scheduled",
     },
 }
 

@@ -21,6 +21,7 @@ from typing import Any, Dict, Optional
 #: ``repro.cache.store``, ``repro.parallel``) alias them.
 ENV_SIM_REFERENCE = "AZUL_SIM_REFERENCE"
 ENV_PART_REFERENCE = "AZUL_PART_REFERENCE"
+ENV_SOLVER_REFERENCE = "AZUL_SOLVER_REFERENCE"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
@@ -47,6 +48,7 @@ def overrides() -> Dict[str, Dict[str, Any]]:
 
     sim_raw = os.environ.get(ENV_SIM_REFERENCE)
     part_raw = os.environ.get(ENV_PART_REFERENCE)
+    solver_raw = os.environ.get(ENV_SOLVER_REFERENCE)
     dir_raw = os.environ.get(ENV_CACHE_DIR)
     max_raw = os.environ.get(ENV_CACHE_MAX_BYTES)
     disable_raw = os.environ.get(ENV_CACHE_DISABLE)
@@ -66,6 +68,12 @@ def overrides() -> Dict[str, Dict[str, Any]]:
             "raw": part_raw,
             "effective": (
                 "reference" if env_truthy(part_raw) else "vectorized"
+            ),
+        },
+        ENV_SOLVER_REFERENCE: {
+            "raw": solver_raw,
+            "effective": (
+                "reference" if env_truthy(solver_raw) else "level"
             ),
         },
         ENV_CACHE_DIR: {

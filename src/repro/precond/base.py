@@ -24,6 +24,11 @@ class Preconditioner(ABC):
     #: Sparse kernels required to apply this preconditioner on Azul.
     kernels: tuple = ()
 
+    #: True when ``lower_factor()`` has a unit diagonal (ILU-style L):
+    #: solvers forward this to the triangular solve so the factor is
+    #: solved — and its FLOPs counted — without a diagonal multiply.
+    lower_unit_diagonal: bool = False
+
     @abstractmethod
     def apply(self, r: np.ndarray) -> np.ndarray:
         """Return ``z = M^{-1} r``."""

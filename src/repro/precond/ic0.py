@@ -9,92 +9,61 @@ accelerates.
 IC(0) can break down (non-positive pivot) on matrices that are SPD but
 not H-matrices; the standard remedy, used here, is to retry with an
 increasing diagonal shift ``A + alpha * diag(A)``.
+
+The numeric factorization is delegated to a kernel engine from the
+registry in :mod:`repro.sparse.ops`: the default level-scheduled engine
+batches the updates by dependence level (sharing the cached
+:class:`~repro.sparse.schedule.IC0Schedule` across shift retries),
+while ``kernels="reference"`` / ``AZUL_SOLVER_REFERENCE=1`` selects the
+original up-looking row-by-row loop.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import PreconditionerError
 from repro.precond.base import Preconditioner
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import sptrsv_lower, sptrsv_upper
+from repro.sparse.ops import _ic0_attempt_reference, resolve_kernels
 
 
 def _ic0_attempt(lower: CSRMatrix, diag_shift: float):
-    """One IC(0) attempt; returns factor data or None on breakdown.
+    """One reference IC(0) attempt (back-compat alias).
 
-    Operates in-place on a copy of the lower triangle's data array,
-    using the standard row-by-row update:
-
-        L[i,j] = (A[i,j] - sum_k L[i,k] L[j,k]) / L[j,j]   for j < i
-        L[i,i] = sqrt(A[i,i] - sum_k L[i,k]^2)
+    The implementation lives in :mod:`repro.sparse.ops` next to the
+    other reference kernels; this name is kept for callers that probed
+    breakdown behavior directly.
     """
-    n = lower.n_rows
-    indptr, indices = lower.indptr, lower.indices
-    data = lower.data.copy()
-    # Apply the diagonal shift before factoring.
-    if diag_shift != 0.0:
-        for i in range(n):
-            end = indptr[i + 1]
-            if end > indptr[i] and indices[end - 1] == i:
-                data[end - 1] *= 1.0 + diag_shift
-    # Row-major position of each row's diagonal entry (last in row).
-    for i in range(n):
-        row_start, row_end = indptr[i], indptr[i + 1]
-        if row_end == row_start or indices[row_end - 1] != i:
-            return None  # structurally missing diagonal
-        # Build a map col -> position for row i's finished prefix.
-        row_cols = indices[row_start:row_end]
-        for pos in range(row_start, row_end - 1):
-            j = indices[pos]
-            # data[pos] currently holds A[i,j] minus prior updates.
-            # Subtract sum_k<j L[i,k] * L[j,k] using merged row scan.
-            acc = data[pos]
-            pi, pj = row_start, indptr[j]
-            j_end = indptr[j + 1] - 1  # exclude L[j,j]
-            while pi < pos and pj < j_end:
-                ci, cj = indices[pi], indices[pj]
-                if ci == cj:
-                    acc -= data[pi] * data[pj]
-                    pi += 1
-                    pj += 1
-                elif ci < cj:
-                    pi += 1
-                else:
-                    pj += 1
-            pivot = data[indptr[j + 1] - 1]
-            if pivot == 0.0:
-                return None
-            data[pos] = acc / pivot
-        # Diagonal entry.
-        diag_pos = row_end - 1
-        acc = data[diag_pos]
-        for pos in range(row_start, diag_pos):
-            acc -= data[pos] * data[pos]
-        if acc <= 0.0:
-            return None
-        data[diag_pos] = np.sqrt(acc)
-        del row_cols
-    return data
+    return _ic0_attempt_reference(lower, diag_shift)
 
 
-def ic0(matrix: CSRMatrix, max_shift_attempts: int = 8) -> CSRMatrix:
+def ic0(matrix: CSRMatrix, max_shift_attempts: int = 8,
+        kernels: Optional[str] = None) -> CSRMatrix:
     """Compute the IC(0) factor ``L`` of an SPD matrix.
 
     Returns a lower-triangular CSR matrix with the pattern of
     ``tril(A)``.  On breakdown, retries with diagonal shifts
     ``alpha = 1e-3 * 2^k`` and raises :class:`PreconditionerError` after
-    ``max_shift_attempts`` failures.
+    ``max_shift_attempts`` failures.  ``kernels`` selects the engine
+    (``None`` = registry default).
     """
+    engine = resolve_kernels(kernels)
     lower = matrix.lower_triangle()
-    data = _ic0_attempt(lower, diag_shift=0.0)
-    shift = 1e-3
-    attempts = 0
-    while data is None and attempts < max_shift_attempts:
-        data = _ic0_attempt(lower, diag_shift=shift)
-        shift *= 2.0
-        attempts += 1
+    obs.counter("solve.kernel.ic0.calls")
+    with obs.timer("solve.kernel.ic0", n=matrix.n_rows,
+                   engine=engine.name) as ph:
+        data = engine.ic0_attempt(lower, diag_shift=0.0)
+        shift = 1e-3
+        attempts = 0
+        while data is None and attempts < max_shift_attempts:
+            data = engine.ic0_attempt(lower, diag_shift=shift)
+            shift *= 2.0
+            attempts += 1
+        ph.set(shift_attempts=attempts)
     if data is None:
         raise PreconditionerError(
             f"IC(0) broke down even with diagonal shift {shift / 2:g}"
@@ -109,13 +78,14 @@ class IncompleteCholesky(Preconditioner):
 
     kernels = ("sptrsv", "sptrsv")
 
-    def __init__(self, matrix: CSRMatrix):
-        self._lower = ic0(matrix)
+    def __init__(self, matrix: CSRMatrix, kernels: Optional[str] = None):
+        self._engine = resolve_kernels(kernels)
+        self._lower = ic0(matrix, kernels=kernels)
         self._upper = self._lower.transpose()
 
     def apply(self, r: np.ndarray) -> np.ndarray:
-        y = sptrsv_lower(self._lower, r)
-        return sptrsv_upper(self._upper, y)
+        y = self._engine.sptrsv_lower(self._lower, r)
+        return self._engine.sptrsv_upper(self._upper, y)
 
     def lower_factor(self) -> CSRMatrix:
         return self._lower

@@ -85,12 +85,13 @@ class IncompleteLU(Preconditioner):
     """ILU(0) preconditioner: ``z = U^{-1} L^{-1} r`` via two SpTRSVs."""
 
     kernels = ("sptrsv", "sptrsv")
+    lower_unit_diagonal = True
 
     def __init__(self, matrix: CSRMatrix):
         self._lower, self._upper = ilu0(matrix)
 
     def apply(self, r: np.ndarray) -> np.ndarray:
-        y = sptrsv_lower(self._lower, r)
+        y = sptrsv_lower(self._lower, r, unit_diagonal=True)
         return sptrsv_upper(self._upper, y)
 
     def lower_factor(self) -> CSRMatrix:

@@ -32,7 +32,11 @@ def gmres(matrix: CSRMatrix, b, preconditioner: Preconditioner = None,
         lower = preconditioner.lower_factor()
         upper = preconditioner.upper_factor()
         if lower is not None and upper is not None:
-            return counter.sptrsv_upper(upper, counter.sptrsv_lower(lower, v))
+            y = counter.sptrsv_lower(
+                lower, v,
+                unit_diagonal=preconditioner.lower_unit_diagonal,
+            )
+            return counter.sptrsv_upper(upper, y)
         return preconditioner.apply(v)
 
     n = matrix.n_rows

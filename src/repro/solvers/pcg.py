@@ -81,7 +81,10 @@ def _pcg(matrix: CSRMatrix, b, preconditioner: Preconditioner = None,
         lower = preconditioner.lower_factor()
         upper = preconditioner.upper_factor()
         if lower is not None and upper is not None:
-            y = counter.sptrsv_lower(lower, residual)
+            y = counter.sptrsv_lower(
+                lower, residual,
+                unit_diagonal=preconditioner.lower_unit_diagonal,
+            )
             return counter.sptrsv_upper(upper, y)
         return preconditioner.apply(residual)
 

@@ -1,9 +1,11 @@
 """Sparse-matrix substrate: formats, kernels, generators, and the suite.
 
 This subpackage provides the sparse linear-algebra foundation the paper's
-solvers run on: COO/CSR/CSC storage, reference SpMV/SpTRSV kernels,
-Matrix Market I/O, synthetic matrix generators, and the benchmark suite
-that stands in for the paper's SuiteSparse selection (Table IV).
+solvers run on: COO/CSR/CSC storage, the SpMV/SpTRSV/IC(0) kernel
+engines (level-scheduled and reference, behind the ``KERNELS``
+registry), cached triangular schedules, Matrix Market I/O, synthetic
+matrix generators, and the benchmark suite that stands in for the
+paper's SuiteSparse selection (Table IV).
 """
 
 from repro.sparse.coo import COOMatrix
@@ -19,11 +21,24 @@ from repro.sparse.convert import (
     to_scipy,
 )
 from repro.sparse.ops import (
+    KERNELS,
+    KernelEngine,
+    LevelScheduledKernels,
+    ReferenceKernels,
+    default_kernels_name,
+    register_kernels,
+    resolve_kernels,
     spmv,
     sptrsv_lower,
     sptrsv_upper,
     spmv_flops,
     sptrsv_flops,
+)
+from repro.sparse.schedule import (
+    IC0Schedule,
+    TriangularSchedule,
+    ic0_schedule,
+    triangular_schedule,
 )
 from repro.sparse.properties import (
     is_symmetric,
@@ -51,6 +66,17 @@ __all__ = [
     "csc_to_csr",
     "from_scipy",
     "to_scipy",
+    "KERNELS",
+    "KernelEngine",
+    "LevelScheduledKernels",
+    "ReferenceKernels",
+    "default_kernels_name",
+    "register_kernels",
+    "resolve_kernels",
+    "IC0Schedule",
+    "TriangularSchedule",
+    "ic0_schedule",
+    "triangular_schedule",
     "spmv",
     "sptrsv_lower",
     "sptrsv_upper",

@@ -24,6 +24,15 @@ library:
 6. **obs is a leaf** — ``repro.obs`` imports nothing from ``repro``
    outside itself (standard library only), so every layer may
    instrument itself through it without creating cycles.
+7. **Sparse-kernel layering** — within ``repro.sparse`` the numeric
+   stack layers ``csr <- schedule <- ops`` may only depend downward
+   (schedules are built over CSR structure; the kernel engines consume
+   schedules).
+8. **Solver-stack layering** — ``sparse <- precond <- solvers``:
+   preconditioners sit on the sparse kernels, solvers on both; none of
+   the three may import the simulator or the experiment pipeline (the
+   functional solver layer is the simulator's validation oracle, so it
+   must stay simulator-free).
 
 The scan is purely static (``ast`` over every ``repro`` module);
 ``from x import y`` and ``import x`` are both resolved, including
@@ -49,6 +58,7 @@ LAYERED_PACKAGES: Dict[str, List[str]] = {
         "hgraph", "metrics", "rebalance", "coarsen", "initial",
         "refine", "refine_vec", "partitioner",
     ],
+    "repro.sparse": ["csr", "schedule", "ops"],
 }
 
 #: Back-compat alias (historical public name for the sim-only rule).
@@ -79,6 +89,26 @@ FORBIDDEN: List[Tuple[str, str, str]] = [
      "the partitioner never reaches into the experiment pipeline"),
     ("repro.hypergraph", "repro.cli",
      "the partitioner never reaches into the CLI"),
+    ("repro.sparse", "repro.precond",
+     "the sparse substrate sits below the preconditioners"),
+    ("repro.sparse", "repro.solvers",
+     "the sparse substrate sits below the solvers"),
+    ("repro.precond", "repro.solvers",
+     "preconditioners are consumed by solvers, never the reverse"),
+    ("repro.sparse", "repro.sim",
+     "the functional kernels are the simulator's validation oracle; "
+     "they must stay simulator-free"),
+    ("repro.precond", "repro.sim",
+     "preconditioners must stay simulator-free"),
+    ("repro.solvers", "repro.sim",
+     "the functional solvers are the simulator's validation oracle; "
+     "they must stay simulator-free"),
+    ("repro.sparse", "repro.experiments",
+     "the solver stack never reaches into the experiment pipeline"),
+    ("repro.precond", "repro.experiments",
+     "the solver stack never reaches into the experiment pipeline"),
+    ("repro.solvers", "repro.experiments",
+     "the solver stack never reaches into the experiment pipeline"),
 ]
 
 
