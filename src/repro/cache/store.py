@@ -326,6 +326,24 @@ class ArtifactCache:
             self._evict_over_budget(protect=payload)
         return value
 
+    def contains(self, namespace: str, key: str,
+                 serializer: Serializer) -> bool:
+        """Cheap presence probe: would :meth:`get` plausibly hit?
+
+        Checks the memory tier and on-disk payload *existence* only —
+        no deserialization, no checksum verification, and no counter
+        updates, so executors can *predict* cache hits (``--plan``
+        dry-runs) without paying for or perturbing real lookups.  A
+        ``True`` may still turn into a miss later if the entry is
+        corrupt; a ``False`` is always a real miss.
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            if (namespace, key) in self._memory:
+                return True
+        return self._payload_path(namespace, key, serializer).exists()
+
     def get_or_compute(self, namespace: str, key: str, compute,
                        serializer: Serializer):
         """Fetch, or compute + store on a miss.  Never raises for cache

@@ -208,6 +208,16 @@ def cmd_run(args):
     argv = list(args.ids)
     if args.list:
         argv.append("--list")
+    if args.plan:
+        argv.append("--plan")
+    if args.resume:
+        argv.append("--resume")
+    if args.keep_going:
+        argv.append("--keep-going")
+    for tag in args.filter or ():
+        argv += ["--filter", tag]
+    if args.matrices:
+        argv += ["--matrices"] + list(args.matrices)
     if args.jobs is not None:
         argv += ["--jobs", str(args.jobs)]
     if args.csv_dir:
@@ -325,10 +335,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("ids", nargs="*",
                        help="experiment ids (default: all)")
     p_run.add_argument("--list", action="store_true",
-                       help="list experiment ids and exit")
+                       help="list experiments (id, title, tags) and exit")
+    p_run.add_argument("--filter", action="append", default=None,
+                       metavar="TAG",
+                       help="only run experiments carrying TAG "
+                            "(repeatable)")
+    p_run.add_argument("--plan", action="store_true",
+                       help="dry-run: print the deduplicated sweep plan "
+                            "and predicted cache hits, simulate nothing")
+    p_run.add_argument("--resume", action="store_true",
+                       help="skip experiments already checkpointed in "
+                            "the artifact cache")
+    p_run.add_argument("--keep-going", action="store_true",
+                       help="continue past failing experiments; exit 1 "
+                            "at the end if any failed")
+    p_run.add_argument("--matrices", nargs="+", default=None,
+                       metavar="NAME",
+                       help="override the matrix set of experiments "
+                            "that take one")
     p_run.add_argument("--jobs", type=int, default=None, metavar="N",
-                       help="worker processes for sweep-parallel "
-                            "experiments (REPRO_JOBS also honored)")
+                       help="worker processes for the merged simulation "
+                            "sweep (REPRO_JOBS also honored)")
     p_run.add_argument("--csv-dir", default=None, metavar="DIR",
                        help="also write each result as DIR/<id>.csv")
     p_run.add_argument("--cache-stats", action="store_true",

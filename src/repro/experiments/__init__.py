@@ -1,12 +1,29 @@
-"""Experiment harness: one module per paper table/figure.
+"""Experiment harness: one declarative spec per paper table/figure.
 
-Each module exposes ``run(...) -> ExperimentResult`` reproducing the
-rows/series of one artifact from the paper's evaluation, and can be run
-standalone via ``python -m repro.experiments.runner <id>``.  See
-DESIGN.md for the experiment index and EXPERIMENTS.md for
-paper-vs-measured records.
+Each module registers an :class:`~repro.experiments.spec.ExperimentSpec`
+(keyed simulation points + a ``reduce`` into an ``ExperimentResult``)
+and keeps a thin ``run(...)`` shim for standalone use.  The staged
+executor (:mod:`repro.experiments.executor`) deduplicates points
+globally across experiments, checkpoints results for ``--resume``, and
+isolates failures; drive it via ``python -m repro.experiments.runner``.
+See DESIGN.md for the experiment index and docs/experiments.md for the
+spec/executor contract.
 """
 
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    load_spec,
+    load_specs,
+    run_experiment,
+)
+from repro.experiments.spec import ExperimentPlan, ExperimentSpec, register
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentPlan",
+    "ExperimentSpec",
+    "load_spec",
+    "load_specs",
+    "register",
+    "run_experiment",
+]

@@ -9,49 +9,71 @@ spill round-trips.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession
+from repro.experiments.spec import ExperimentPlan, register
 from repro.parallel import SimPoint
 from repro.perf import ExperimentResult
 
 
-def run(matrix: str = "consph", config: AzulConfig = None, scale: int = 1,
-        buffer_sizes=(2, 4, 16, 64, 256), jobs: int = 1) -> ExperimentResult:
+@register("abl_buffer", title="Incoming-message buffer size sweep",
+          tags=("extension", "ablation", "sim", "sweep"))
+def spec(matrix: str = "consph", config: Optional[AzulConfig] = None,
+         scale: int = 1, buffer_sizes=(2, 4, 16, 64, 256),
+         jobs: Optional[int] = None) -> ExperimentPlan:
     """Sweep the per-tile message-buffer capacity on one matrix."""
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    result = ExperimentResult(
-        experiment="abl_buffer",
-        title=f"Message-buffer size sweep on {matrix}",
-        columns=["buffer_entries", "spills", "cycles", "slowdown"],
-    )
+
     sizes = list(reversed(sorted(buffer_sizes)))
-    points = [
-        SimPoint(matrix, config=config.with_(msg_buffer_entries=entries),
-                 check=False)
-        for entries in sizes
-    ]
-    sims = session.simulate_many(points, jobs=jobs)
-    baseline = None
-    for entries, timing in zip(sizes, sims):
-        spills = sum(k.spills for k in timing.kernel_results)
-        if baseline is None:
-            baseline = timing.total_cycles
-        result.add_row(
-            buffer_entries=entries,
-            spills=spills,
-            cycles=timing.total_cycles,
-            slowdown=timing.total_cycles / baseline,
+    points = {
+        f"buf{entries}": SimPoint(
+            matrix, config=config.with_(msg_buffer_entries=entries),
+            check=False,
         )
-    result.extras = {
-        "max_slowdown": max(result.column("slowdown")),
-        "max_spills": max(result.column("spills")),
+        for entries in sizes
     }
-    result.notes = (
-        "Tiny buffers spill heavily to the Data SRAM but degrade "
-        "gracefully (no deadlock) — the paper's overflow design point."
-    )
-    return result
+
+    def reduce(sims) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="abl_buffer",
+            title=f"Message-buffer size sweep on {matrix}",
+            columns=["buffer_entries", "spills", "cycles", "slowdown"],
+        )
+        baseline = None
+        for entries in sizes:
+            timing = sims[f"buf{entries}"]
+            spills = sum(k.spills for k in timing.kernel_results)
+            if baseline is None:
+                baseline = timing.total_cycles
+            result.add_row(
+                buffer_entries=entries,
+                spills=spills,
+                cycles=timing.total_cycles,
+                slowdown=timing.total_cycles / baseline,
+            )
+        result.extras = {
+            "max_slowdown": max(result.column("slowdown")),
+            "max_spills": max(result.column("spills")),
+        }
+        result.notes = (
+            "Tiny buffers spill heavily to the Data SRAM but degrade "
+            "gracefully (no deadlock) — the paper's overflow design "
+            "point."
+        )
+        return result
+
+    return ExperimentPlan(session=session, points=points, reduce=reduce)
+
+
+def run(matrix: str = "consph", config: Optional[AzulConfig] = None,
+        scale: int = 1, buffer_sizes=(2, 4, 16, 64, 256),
+        jobs: Optional[int] = None) -> ExperimentResult:
+    """Sweep the per-tile message-buffer capacity on one matrix."""
+    return spec.run(jobs=jobs, matrix=matrix, config=config, scale=scale,
+                    buffer_sizes=buffer_sizes)
 
 
 def main():

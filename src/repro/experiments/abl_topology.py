@@ -8,8 +8,11 @@ the same mapped PCG on both topologies.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.experiments.spec import ExperimentPlan, register
 from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
 
@@ -17,47 +20,68 @@ from repro.perf import ExperimentResult, gmean
 TOPOLOGIES = ("torus", "mesh")
 
 
-def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1, jobs: int = 1) -> ExperimentResult:
+@register("abl_topology", title="NoC topology ablation: torus vs mesh",
+          tags=("extension", "ablation", "sim", "sweep"))
+def spec(matrices=None, config: Optional[AzulConfig] = None,
+         scale: int = 1, jobs: Optional[int] = None) -> ExperimentPlan:
     """Same placement, torus vs mesh timing."""
-    matrices = matrices or default_matrices()
+    matrices = list(matrices or default_matrices())
     session = ExperimentSession(config, scale=scale)
     config = session.config
-    result = ExperimentResult(
-        experiment="abl_topology",
-        title="NoC topology ablation: torus vs mesh",
-        columns=[
-            "matrix", "torus_cycles", "mesh_cycles", "torus_advantage",
-            "torus_links", "mesh_links",
-        ],
-    )
-    points = [
-        SimPoint(name, config=config.with_(topology=topology),
-                 check=(topology == "mesh"))
-        for name in matrices for topology in TOPOLOGIES
-    ]
-    sims = iter(session.simulate_many(points, jobs=jobs))
-    for name in matrices:
-        runs = {topology: next(sims) for topology in TOPOLOGIES}
-        result.add_row(
-            matrix=name,
-            torus_cycles=runs["torus"].total_cycles,
-            mesh_cycles=runs["mesh"].total_cycles,
-            torus_advantage=(
-                runs["mesh"].total_cycles / runs["torus"].total_cycles
-            ),
-            torus_links=runs["torus"].link_activations(),
-            mesh_links=runs["mesh"].link_activations(),
+
+    points = {
+        f"{name}/{topology}": SimPoint(
+            name, config=config.with_(topology=topology),
+            check=(topology == "mesh"),
         )
-    result.extras = {
-        "gmean_torus_advantage": gmean(result.column("torus_advantage")),
+        for name in matrices for topology in TOPOLOGIES
     }
-    result.notes = (
-        f"The torus is gmean {result.extras['gmean_torus_advantage']:.2f}x "
-        "faster: wraparound halves average route length, and Azul's "
-        "mapping leaves little slack to absorb the mesh's longer paths."
-    )
-    return result
+
+    def reduce(sims) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="abl_topology",
+            title="NoC topology ablation: torus vs mesh",
+            columns=[
+                "matrix", "torus_cycles", "mesh_cycles",
+                "torus_advantage", "torus_links", "mesh_links",
+            ],
+        )
+        for name in matrices:
+            runs = {
+                topology: sims[f"{name}/{topology}"]
+                for topology in TOPOLOGIES
+            }
+            result.add_row(
+                matrix=name,
+                torus_cycles=runs["torus"].total_cycles,
+                mesh_cycles=runs["mesh"].total_cycles,
+                torus_advantage=(
+                    runs["mesh"].total_cycles / runs["torus"].total_cycles
+                ),
+                torus_links=runs["torus"].link_activations(),
+                mesh_links=runs["mesh"].link_activations(),
+            )
+        result.extras = {
+            "gmean_torus_advantage": gmean(
+                result.column("torus_advantage")
+            ),
+        }
+        result.notes = (
+            "The torus is gmean "
+            f"{result.extras['gmean_torus_advantage']:.2f}x faster: "
+            "wraparound halves average route length, and Azul's mapping "
+            "leaves little slack to absorb the mesh's longer paths."
+        )
+        return result
+
+    return ExperimentPlan(session=session, points=points, reduce=reduce)
+
+
+def run(matrices=None, config: Optional[AzulConfig] = None,
+        scale: int = 1, jobs: Optional[int] = None) -> ExperimentResult:
+    """Same placement, torus vs mesh timing."""
+    return spec.run(jobs=jobs, matrices=matrices, config=config,
+                    scale=scale)
 
 
 def main():

@@ -10,62 +10,81 @@ and with one unicast message per destination (Fig. 18 left).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.experiments.spec import ExperimentPlan, register
 from repro.perf import ExperimentResult, gmean
 
 
-def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1, jobs: int = 1) -> ExperimentResult:
+@register("abl_trees", title="Multicast trees vs point-to-point",
+          tags=("extension", "ablation", "sim"))
+def spec(matrices=None, config: Optional[AzulConfig] = None,
+         scale: int = 1, jobs: Optional[int] = None) -> ExperimentPlan:
     """Compare tree and unicast distribution on the mapped machine."""
-    matrices = matrices or default_matrices()
+    matrices = list(matrices or default_matrices())
     session = ExperimentSession(config, scale=scale)
-    config = session.config
-    result = ExperimentResult(
-        experiment="abl_trees",
-        title="Multicast trees vs point-to-point messages",
-        columns=[
-            "matrix", "tree_cycles", "unicast_cycles", "speedup",
-            "tree_links", "unicast_links", "traffic_saving",
-        ],
-    )
-    points = []
-    for name in matrices:
-        placement = session.placement(name, "azul")
-        points.append({
-            "name": name, "placement": placement,
-            "multicast": "tree", "check": False,
-        })
-        points.append({
-            "name": name, "placement": placement,
-            "multicast": "unicast", "check": True,
-        })
-    sims = iter(session.simulate_placements(placements=points, jobs=jobs))
-    for name in matrices:
-        tree_run = next(sims)
-        unicast_run = next(sims)
-        result.add_row(
-            matrix=name,
-            tree_cycles=tree_run.total_cycles,
-            unicast_cycles=unicast_run.total_cycles,
-            speedup=unicast_run.total_cycles / tree_run.total_cycles,
-            tree_links=tree_run.link_activations(),
-            unicast_links=unicast_run.link_activations(),
-            traffic_saving=(
-                unicast_run.link_activations()
-                / max(tree_run.link_activations(), 1)
-            ),
+
+    def reduce(sims) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="abl_trees",
+            title="Multicast trees vs point-to-point messages",
+            columns=[
+                "matrix", "tree_cycles", "unicast_cycles", "speedup",
+                "tree_links", "unicast_links", "traffic_saving",
+            ],
         )
-    result.extras = {
-        "gmean_speedup": gmean(result.column("speedup")),
-        "gmean_traffic_saving": gmean(result.column("traffic_saving")),
-    }
-    result.notes = (
-        f"Trees save {result.extras['gmean_traffic_saving']:.2f}x link "
-        f"traffic and {result.extras['gmean_speedup']:.2f}x cycles vs "
-        "point-to-point fans (Sec. IV-D's two claimed benefits)."
-    )
-    return result
+        points = []
+        for name in matrices:
+            placement = session.placement(name, "azul")
+            points.append({
+                "name": name, "placement": placement,
+                "multicast": "tree", "check": False,
+            })
+            points.append({
+                "name": name, "placement": placement,
+                "multicast": "unicast", "check": True,
+            })
+        timings = session.simulate_placements(placements=points,
+                                              jobs=jobs)
+        for index, name in enumerate(matrices):
+            tree_run = timings[2 * index]
+            unicast_run = timings[2 * index + 1]
+            result.add_row(
+                matrix=name,
+                tree_cycles=tree_run.total_cycles,
+                unicast_cycles=unicast_run.total_cycles,
+                speedup=unicast_run.total_cycles / tree_run.total_cycles,
+                tree_links=tree_run.link_activations(),
+                unicast_links=unicast_run.link_activations(),
+                traffic_saving=(
+                    unicast_run.link_activations()
+                    / max(tree_run.link_activations(), 1)
+                ),
+            )
+        result.extras = {
+            "gmean_speedup": gmean(result.column("speedup")),
+            "gmean_traffic_saving": gmean(
+                result.column("traffic_saving")
+            ),
+        }
+        result.notes = (
+            f"Trees save {result.extras['gmean_traffic_saving']:.2f}x "
+            f"link traffic and {result.extras['gmean_speedup']:.2f}x "
+            "cycles vs point-to-point fans (Sec. IV-D's two claimed "
+            "benefits)."
+        )
+        return result
+
+    return ExperimentPlan(session=session, reduce=reduce)
+
+
+def run(matrices=None, config: Optional[AzulConfig] = None,
+        scale: int = 1, jobs: Optional[int] = None) -> ExperimentResult:
+    """Compare tree and unicast distribution on the mapped machine."""
+    return spec.run(jobs=jobs, matrices=matrices, config=config,
+                    scale=scale)
 
 
 def main():

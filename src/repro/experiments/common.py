@@ -46,6 +46,7 @@ import difflib
 import threading
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -189,8 +190,9 @@ class ExperimentSession:
         matrices are still memoized in process).
     """
 
-    def __init__(self, config: AzulConfig = None, *, scale: int = 1,
-                 preset: str = "speed", cache: ArtifactCache = None,
+    def __init__(self, config: Optional[AzulConfig] = None, *,
+                 scale: int = 1, preset: str = "speed",
+                 cache: Optional[ArtifactCache] = None,
                  use_cache: bool = True):
         config = config if config is not None else default_experiment_config()
         if not isinstance(config, AzulConfig):
@@ -210,7 +212,8 @@ class ExperimentSession:
         self._bridged_traces: set = set()
 
     # -- preparation ---------------------------------------------------
-    def prepare(self, name: str, scale: int = None) -> PreparedMatrix:
+    def prepare(self, name: str,
+                scale: Optional[int] = None) -> PreparedMatrix:
         """Build, color+permute, and factor one suite matrix (memoized).
 
         Repeated calls return the identical object.
@@ -233,10 +236,12 @@ class ExperimentSession:
             return _PREPARED.setdefault(key, prepared)
 
     # -- placement -----------------------------------------------------
-    def placement(self, name: str, mapper: str, n_tiles: int = None, *,
-                  scale: int = None, preset: str = None,
-                  use_cache: bool = None,
-                  jobs: int = None) -> Placement:
+    def placement(self, name: str, mapper: str,
+                  n_tiles: Optional[int] = None, *,
+                  scale: Optional[int] = None,
+                  preset: Optional[str] = None,
+                  use_cache: Optional[bool] = None,
+                  jobs: Optional[int] = None) -> Placement:
         """Map one prepared matrix with one strategy, with caching.
 
         Azul mappings additionally record their mapping wall-clock time
@@ -304,8 +309,10 @@ class ExperimentSession:
 
     # -- simulation ----------------------------------------------------
     def simulation_key(self, name: str, mapper: str = "azul",
-                       pe="azul", *, scale: int = None, preset: str = None,
-                       check: bool = True, config: AzulConfig = None,
+                       pe="azul", *, scale: Optional[int] = None,
+                       preset: Optional[str] = None,
+                       check: bool = True,
+                       config: Optional[AzulConfig] = None,
                        trace: bool = False) -> str:
         """The artifact-cache key one :meth:`simulate` call resolves to.
 
@@ -324,9 +331,9 @@ class ExperimentSession:
         )
 
     def simulate(self, name: str, mapper: str = "azul", pe="azul",
-                 *, scale: int = None, preset: str = None,
-                 check: bool = True, use_cache: bool = None,
-                 trace: bool = None):
+                 *, scale: Optional[int] = None, preset: Optional[str] = None,
+                 check: bool = True, use_cache: Optional[bool] = None,
+                 trace: Optional[bool] = None):
         """Simulate one steady-state PCG iteration (cached).
 
         Results live in the in-memory tier (identity-preserving within
@@ -380,8 +387,9 @@ class ExperimentSession:
             self._bridge_trace(key, f"{name}/{mapper}", result)
         return result
 
-    def simulate_many(self, points, jobs: int = None, *,
-                      use_cache: bool = None, stats: dict = None) -> list:
+    def simulate_many(self, points, jobs: Optional[int] = None, *,
+                      use_cache: Optional[bool] = None,
+                      stats: Optional[dict] = None) -> list:
         """Simulate many sweep points, fanned out across processes.
 
         A drop-in replacement for a serial loop of :meth:`simulate`
@@ -397,11 +405,14 @@ class ExperimentSession:
             self, points, jobs, use_cache=use_cache, stats=stats,
         )
 
-    def simulate_placements(self, name: str = None, placements=(), *,
+    def simulate_placements(self, name: Optional[str] = None,
+                            placements=(), *,
                             pe="azul", check: bool = False,
-                            multicast: str = "tree", scale: int = None,
-                            jobs: int = None, use_cache: bool = None,
-                            stats: dict = None) -> list:
+                            multicast: str = "tree",
+                            scale: Optional[int] = None,
+                            jobs: Optional[int] = None,
+                            use_cache: Optional[bool] = None,
+                            stats: Optional[dict] = None) -> list:
         """Simulate explicit placements (usually one matrix).
 
         Placement-content-keyed variant of :meth:`simulate_many` for

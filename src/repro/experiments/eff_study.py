@@ -8,52 +8,71 @@ since it eliminates off-chip DRAM energy entirely.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.experiments.spec import ExperimentPlan, register
 from repro.models import GPUModel, power_report
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
 
 #: V100 PCIe board power (the GPU baseline's TDP).
 GPU_TDP_W = 250.0
 
 
-def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+@register("eff_study", title="Energy efficiency: GFLOP/s per watt",
+          tags=("extension", "study", "sim", "sweep"))
+def spec(matrices=None, config: Optional[AzulConfig] = None,
+         scale: int = 1, jobs: Optional[int] = None) -> ExperimentPlan:
     """GFLOP/s per watt: simulated Azul vs the GPU model at TDP."""
-    matrices = matrices or default_matrices()
+    matrices = list(matrices or default_matrices())
     session = ExperimentSession(config, scale=scale)
-    config = session.config
-    gpu = GPUModel()
-    result = ExperimentResult(
-        experiment="eff_study",
-        title="Energy efficiency: GFLOP/s per watt",
-        columns=[
-            "matrix", "azul_gflops_per_w", "gpu_gflops_per_w",
-            "efficiency_gain",
-        ],
-    )
-    for name in matrices:
-        prepared = session.prepare(name)
-        sim = session.simulate(name, mapper="azul", pe="azul")
-        azul_watts = power_report(sim, config).total
-        azul_efficiency = sim.gflops() / azul_watts
-        gpu_efficiency = (
-            gpu.gflops(prepared.matrix, prepared.lower) / GPU_TDP_W
+
+    points = {name: SimPoint(name) for name in matrices}
+
+    def reduce(sims) -> ExperimentResult:
+        config = session.config
+        gpu = GPUModel()
+        result = ExperimentResult(
+            experiment="eff_study",
+            title="Energy efficiency: GFLOP/s per watt",
+            columns=[
+                "matrix", "azul_gflops_per_w", "gpu_gflops_per_w",
+                "efficiency_gain",
+            ],
         )
-        result.add_row(
-            matrix=name,
-            azul_gflops_per_w=azul_efficiency,
-            gpu_gflops_per_w=gpu_efficiency,
-            efficiency_gain=azul_efficiency / gpu_efficiency,
+        for name in matrices:
+            prepared = session.prepare(name)
+            sim = sims[name]
+            azul_watts = power_report(sim, config).total
+            azul_efficiency = sim.gflops() / azul_watts
+            gpu_efficiency = (
+                gpu.gflops(prepared.matrix, prepared.lower) / GPU_TDP_W
+            )
+            result.add_row(
+                matrix=name,
+                azul_gflops_per_w=azul_efficiency,
+                gpu_gflops_per_w=gpu_efficiency,
+                efficiency_gain=azul_efficiency / gpu_efficiency,
+            )
+        gain = gmean(result.column("efficiency_gain"))
+        result.extras = {"gmean_efficiency_gain": gain}
+        result.notes = (
+            f"Azul is gmean {gain:.0f}x more energy-efficient than the "
+            "GPU baseline: the raw speedup compounds with a much lower "
+            "power envelope (no DRAM, small SRAMs, short wires)."
         )
-    gain = gmean(result.column("efficiency_gain"))
-    result.extras = {"gmean_efficiency_gain": gain}
-    result.notes = (
-        f"Azul is gmean {gain:.0f}x more energy-efficient than the GPU "
-        "baseline: the raw speedup compounds with a much lower power "
-        "envelope (no DRAM, small SRAMs, short wires)."
-    )
-    return result
+        return result
+
+    return ExperimentPlan(session=session, points=points, reduce=reduce)
+
+
+def run(matrices=None, config: Optional[AzulConfig] = None,
+        scale: int = 1, jobs: Optional[int] = None) -> ExperimentResult:
+    """GFLOP/s per watt: simulated Azul vs the GPU model at TDP."""
+    return spec.run(jobs=jobs, matrices=matrices, config=config,
+                    scale=scale)
 
 
 def main():

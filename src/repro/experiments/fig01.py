@@ -8,36 +8,52 @@ same (analog) matrices.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.experiments.spec import ExperimentPlan, register
 from repro.models import GPUModel
 from repro.perf import ExperimentResult
 
 
-def run(matrices=None, scale: int = 1) -> ExperimentResult:
+@register("fig01", title="GPU PCG throughput and utilization",
+          tags=("paper", "figure", "analytic"))
+def spec(matrices=None, scale: int = 1,
+         jobs: Optional[int] = None) -> ExperimentPlan:
     """Evaluate the GPU model on the representative matrices."""
-    matrices = matrices or default_matrices()
+    matrices = list(matrices or default_matrices())
     session = ExperimentSession(scale=scale)
-    model = GPUModel()
-    result = ExperimentResult(
-        experiment="fig01",
-        title="GPU (V100 + Ginkgo PCG model): GFLOP/s and % of peak",
-        columns=["matrix", "gflops", "pct_of_peak"],
-    )
-    for name in matrices:
-        prepared = session.prepare(name)
-        gflops = model.gflops(prepared.matrix, prepared.lower)
-        result.add_row(
-            matrix=name,
-            gflops=gflops,
-            pct_of_peak=100.0 * gflops * 1e9 / model.peak_flops,
+
+    def reduce(sims) -> ExperimentResult:
+        model = GPUModel()
+        result = ExperimentResult(
+            experiment="fig01",
+            title="GPU (V100 + Ginkgo PCG model): GFLOP/s and % of peak",
+            columns=["matrix", "gflops", "pct_of_peak"],
         )
-    worst = max(result.column("pct_of_peak"))
-    result.notes = (
-        f"Max utilization {worst:.3f}% of peak — the paper observes "
-        "<= 0.6% (Fig. 1); small analog matrices are launch-overhead "
-        "dominated, pushing utilization lower still."
-    )
-    return result
+        for name in matrices:
+            prepared = session.prepare(name)
+            gflops = model.gflops(prepared.matrix, prepared.lower)
+            result.add_row(
+                matrix=name,
+                gflops=gflops,
+                pct_of_peak=100.0 * gflops * 1e9 / model.peak_flops,
+            )
+        worst = max(result.column("pct_of_peak"))
+        result.notes = (
+            f"Max utilization {worst:.3f}% of peak — the paper observes "
+            "<= 0.6% (Fig. 1); small analog matrices are launch-overhead "
+            "dominated, pushing utilization lower still."
+        )
+        return result
+
+    return ExperimentPlan(session=session, reduce=reduce)
+
+
+def run(matrices=None, scale: int = 1,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    """Evaluate the GPU model on the representative matrices."""
+    return spec.run(jobs=jobs, matrices=matrices, scale=scale)
 
 
 def main():

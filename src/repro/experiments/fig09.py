@@ -8,35 +8,57 @@ most issue slots.  The paper measures at most 187 GFLOP/s, ~1% of the
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.experiments.spec import ExperimentPlan, register
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult
 
 
-def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1) -> ExperimentResult:
+@register("fig09", title="Dalorex PCG throughput",
+          tags=("paper", "figure", "sim", "sweep"))
+def spec(matrices=None, config: Optional[AzulConfig] = None,
+         scale: int = 1, jobs: Optional[int] = None) -> ExperimentPlan:
     """Simulate Dalorex (round-robin mapping + in-order cores) on PCG."""
-    matrices = matrices or default_matrices()
+    matrices = list(matrices or default_matrices())
     session = ExperimentSession(config, scale=scale)
-    config = session.config
-    result = ExperimentResult(
-        experiment="fig09",
-        title="Dalorex PCG throughput (GFLOP/s and fraction of peak)",
-        columns=["matrix", "gflops", "fraction_of_peak"],
-    )
-    for name in matrices:
-        sim = session.simulate(name, mapper="round_robin", pe="dalorex")
-        result.add_row(
-            matrix=name,
-            gflops=sim.gflops(),
-            fraction_of_peak=sim.utilization(),
+
+    points = {
+        name: SimPoint(name, mapper="round_robin", pe="dalorex")
+        for name in matrices
+    }
+
+    def reduce(sims) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="fig09",
+            title="Dalorex PCG throughput (GFLOP/s and fraction of peak)",
+            columns=["matrix", "gflops", "fraction_of_peak"],
         )
-    worst = max(result.column("fraction_of_peak"))
-    result.notes = (
-        f"Peak fraction <= {worst:.1%}; the paper's Dalorex reaches ~1% "
-        "of its 16 TFLOP/s peak (Fig. 9) — all-SRAM alone is not enough."
-    )
-    return result
+        for name in matrices:
+            sim = sims[name]
+            result.add_row(
+                matrix=name,
+                gflops=sim.gflops(),
+                fraction_of_peak=sim.utilization(),
+            )
+        worst = max(result.column("fraction_of_peak"))
+        result.notes = (
+            f"Peak fraction <= {worst:.1%}; the paper's Dalorex reaches "
+            "~1% of its 16 TFLOP/s peak (Fig. 9) — all-SRAM alone is not "
+            "enough."
+        )
+        return result
+
+    return ExperimentPlan(session=session, points=points, reduce=reduce)
+
+
+def run(matrices=None, config: Optional[AzulConfig] = None,
+        scale: int = 1, jobs: Optional[int] = None) -> ExperimentResult:
+    """Simulate Dalorex (round-robin mapping + in-order cores) on PCG."""
+    return spec.run(jobs=jobs, matrices=matrices, config=config,
+                    scale=scale)
 
 
 def main():

@@ -9,71 +9,89 @@ same algorithm so iteration counts cancel.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.experiments.spec import ExperimentPlan, register
 from repro.models import AlreschaModel, GPUModel
 from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
 
 
-def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1, jobs: int = 1) -> ExperimentResult:
+@register("fig20", title="End-to-end PCG speedup over the GPU",
+          tags=("paper", "figure", "sim", "sweep"))
+def spec(matrices=None, config: Optional[AzulConfig] = None,
+         scale: int = 1, jobs: Optional[int] = None) -> ExperimentPlan:
     """End-to-end comparison across the four architectures."""
-    matrices = matrices or default_matrices()
+    matrices = list(matrices or default_matrices())
     session = ExperimentSession(config, scale=scale)
-    config = session.config
-    gpu = GPUModel()
-    alrescha = AlreschaModel()
-    result = ExperimentResult(
-        experiment="fig20",
-        title="PCG speedup over GPU (matrices sorted by parallelism)",
-        columns=[
-            "matrix", "alrescha_speedup", "dalorex_speedup",
-            "azul_speedup", "azul_gflops",
-        ],
-    )
-    points = []
+
+    points = {}
     for name in matrices:
-        points.append(SimPoint(name, mapper="round_robin", pe="dalorex"))
-        points.append(SimPoint(name, mapper="azul", pe="azul"))
-    sims = session.simulate_many(points, jobs=jobs)
-    for index, name in enumerate(matrices):
-        prepared = session.prepare(name)
-        gpu_time = gpu.pcg_iteration_time(
-            prepared.matrix, prepared.lower
-        ).total
-        alrescha_time = alrescha.pcg_iteration_time(
-            prepared.matrix, prepared.lower
+        points[f"{name}/dalorex"] = SimPoint(
+            name, mapper="round_robin", pe="dalorex"
         )
-        dalorex_sim = sims[2 * index]
-        azul_sim = sims[2 * index + 1]
-        dalorex_time = dalorex_sim.total_cycles / config.frequency_hz
-        azul_time = azul_sim.total_cycles / config.frequency_hz
-        result.add_row(
-            matrix=name,
-            alrescha_speedup=gpu_time / alrescha_time,
-            dalorex_speedup=gpu_time / dalorex_time,
-            azul_speedup=gpu_time / azul_time,
-            azul_gflops=azul_sim.gflops(),
+        points[f"{name}/azul"] = SimPoint(name, mapper="azul", pe="azul")
+
+    def reduce(sims) -> ExperimentResult:
+        config = session.config
+        gpu = GPUModel()
+        alrescha = AlreschaModel()
+        result = ExperimentResult(
+            experiment="fig20",
+            title="PCG speedup over GPU (matrices sorted by parallelism)",
+            columns=[
+                "matrix", "alrescha_speedup", "dalorex_speedup",
+                "azul_speedup", "azul_gflops",
+            ],
         )
-    result.extras = {
-        "alrescha": gmean(result.column("alrescha_speedup")),
-        "dalorex": gmean(result.column("dalorex_speedup")),
-        "azul": gmean(result.column("azul_speedup")),
-    }
-    result.notes = (
-        "gmean speedup over GPU: "
-        f"ALRESCHA {gmean(result.column('alrescha_speedup')):.1f}x, "
-        f"Dalorex {gmean(result.column('dalorex_speedup')):.1f}x, "
-        f"Azul {gmean(result.column('azul_speedup')):.1f}x "
-        "(paper at 4096 tiles: 1.4x / 2.3x / 217x). Reproduced shape: "
-        "Azul wins on every matrix and the GPU loses everywhere. "
-        "Scale caveat: at ~1e4-nnz matrices the GPU and Dalorex pay "
-        "fixed overheads (kernel launches; per-row control) that the "
-        "launch-free ALRESCHA model does not, so ALRESCHA's relative "
-        "position is inflated versus the paper's 1e7-nnz inputs."
-    )
-    return result
+        for name in matrices:
+            prepared = session.prepare(name)
+            gpu_time = gpu.pcg_iteration_time(
+                prepared.matrix, prepared.lower
+            ).total
+            alrescha_time = alrescha.pcg_iteration_time(
+                prepared.matrix, prepared.lower
+            )
+            dalorex_sim = sims[f"{name}/dalorex"]
+            azul_sim = sims[f"{name}/azul"]
+            dalorex_time = dalorex_sim.total_cycles / config.frequency_hz
+            azul_time = azul_sim.total_cycles / config.frequency_hz
+            result.add_row(
+                matrix=name,
+                alrescha_speedup=gpu_time / alrescha_time,
+                dalorex_speedup=gpu_time / dalorex_time,
+                azul_speedup=gpu_time / azul_time,
+                azul_gflops=azul_sim.gflops(),
+            )
+        result.extras = {
+            "alrescha": gmean(result.column("alrescha_speedup")),
+            "dalorex": gmean(result.column("dalorex_speedup")),
+            "azul": gmean(result.column("azul_speedup")),
+        }
+        result.notes = (
+            "gmean speedup over GPU: "
+            f"ALRESCHA {gmean(result.column('alrescha_speedup')):.1f}x, "
+            f"Dalorex {gmean(result.column('dalorex_speedup')):.1f}x, "
+            f"Azul {gmean(result.column('azul_speedup')):.1f}x "
+            "(paper at 4096 tiles: 1.4x / 2.3x / 217x). Reproduced shape: "
+            "Azul wins on every matrix and the GPU loses everywhere. "
+            "Scale caveat: at ~1e4-nnz matrices the GPU and Dalorex pay "
+            "fixed overheads (kernel launches; per-row control) that the "
+            "launch-free ALRESCHA model does not, so ALRESCHA's relative "
+            "position is inflated versus the paper's 1e7-nnz inputs."
+        )
+        return result
+
+    return ExperimentPlan(session=session, points=points, reduce=reduce)
+
+
+def run(matrices=None, config: Optional[AzulConfig] = None,
+        scale: int = 1, jobs: Optional[int] = None) -> ExperimentResult:
+    """End-to-end comparison across the four architectures."""
+    return spec.run(jobs=jobs, matrices=matrices, config=config,
+                    scale=scale)
 
 
 def main():

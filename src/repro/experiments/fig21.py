@@ -8,36 +8,55 @@ row matrices spend more on reductions (Sends and Adds).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.experiments.spec import ExperimentPlan, register
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult
 from repro.sim import breakdown_from_results
 
 
-def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1, jobs: int = 1) -> ExperimentResult:
+@register("fig21", title="Azul PE cycle breakdown",
+          tags=("paper", "figure", "sim", "sweep"))
+def spec(matrices=None, config: Optional[AzulConfig] = None,
+         scale: int = 1, jobs: Optional[int] = None) -> ExperimentPlan:
     """Per-matrix PE cycle breakdown on simulated Azul."""
-    matrices = matrices or default_matrices()
+    matrices = list(matrices or default_matrices())
     session = ExperimentSession(config, scale=scale)
-    config = session.config
-    result = ExperimentResult(
-        experiment="fig21",
-        title="Azul PE cycle breakdown (fractions of issue slots)",
-        columns=["matrix", "fmac", "add", "mul", "send", "stall"],
-    )
-    sims = session.simulate_many(list(matrices), jobs=jobs)
-    for name, sim in zip(matrices, sims):
-        breakdown = breakdown_from_results(
-            sim.kernel_results, config.num_tiles,
-            extra_cycles=sim.vector_cycles,
-            extra_ops=sim.vector_ops,
+
+    points = {name: SimPoint(name) for name in matrices}
+
+    def reduce(sims) -> ExperimentResult:
+        config = session.config
+        result = ExperimentResult(
+            experiment="fig21",
+            title="Azul PE cycle breakdown (fractions of issue slots)",
+            columns=["matrix", "fmac", "add", "mul", "send", "stall"],
         )
-        result.add_row(matrix=name, **breakdown.as_dict())
-    result.notes = (
-        "Paper shape (Fig. 21): FMAC slots dominate useful work; stalls "
-        "come chiefly from SpTRSV's limited parallelism."
-    )
-    return result
+        for name in matrices:
+            sim = sims[name]
+            breakdown = breakdown_from_results(
+                sim.kernel_results, config.num_tiles,
+                extra_cycles=sim.vector_cycles,
+                extra_ops=sim.vector_ops,
+            )
+            result.add_row(matrix=name, **breakdown.as_dict())
+        result.notes = (
+            "Paper shape (Fig. 21): FMAC slots dominate useful work; "
+            "stalls come chiefly from SpTRSV's limited parallelism."
+        )
+        return result
+
+    return ExperimentPlan(session=session, points=points, reduce=reduce)
+
+
+def run(matrices=None, config: Optional[AzulConfig] = None,
+        scale: int = 1, jobs: Optional[int] = None) -> ExperimentResult:
+    """Per-matrix PE cycle breakdown on simulated Azul."""
+    return spec.run(jobs=jobs, matrices=matrices, config=config,
+                    scale=scale)
 
 
 def main():

@@ -8,8 +8,11 @@ Block by 13.5x, SparseP by 25.2x.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.experiments.spec import ExperimentPlan, register
 from repro.parallel import SimPoint
 from repro.perf import ExperimentResult, gmean
 
@@ -17,37 +20,51 @@ from repro.perf import ExperimentResult, gmean
 MAPPINGS = ("round_robin", "block", "sparsep", "azul")
 
 
-def run(matrices=None, config: AzulConfig = None,
-        scale: int = 1, jobs: int = 1) -> ExperimentResult:
+@register("fig23", title="End-to-end throughput by mapping strategy",
+          tags=("paper", "figure", "sim", "sweep"))
+def spec(matrices=None, config: Optional[AzulConfig] = None,
+         scale: int = 1, jobs: Optional[int] = None) -> ExperimentPlan:
     """Throughput of each mapping on the real-PE simulator."""
-    matrices = matrices or default_matrices()
+    matrices = list(matrices or default_matrices())
     session = ExperimentSession(config, scale=scale)
-    config = session.config
-    result = ExperimentResult(
-        experiment="fig23",
-        title="PCG GFLOP/s by data mapping (Azul PEs)",
-        columns=["matrix"] + list(MAPPINGS),
-    )
-    points = [
-        SimPoint(name, mapper=mapping, pe="azul")
+
+    points = {
+        f"{name}/{mapping}": SimPoint(name, mapper=mapping, pe="azul")
         for name in matrices for mapping in MAPPINGS
-    ]
-    sims = iter(session.simulate_many(points, jobs=jobs))
-    for name in matrices:
-        row = {"matrix": name}
-        for mapping in MAPPINGS:
-            row[mapping] = next(sims).gflops()
-        result.add_row(**row)
-    summary = []
-    for mapping in MAPPINGS[:-1]:
-        gain = gmean([row["azul"] / row[mapping] for row in result.rows])
-        result.extras[f"azul_vs_{mapping}"] = gain
-        summary.append(f"{gain:.1f}x vs {mapping}")
-    result.notes = (
-        "Azul mapping gmean gains: " + ", ".join(summary)
-        + " (paper: 10.2x / 13.5x / 25.2x at 4096 tiles)."
-    )
-    return result
+    }
+
+    def reduce(sims) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="fig23",
+            title="PCG GFLOP/s by data mapping (Azul PEs)",
+            columns=["matrix"] + list(MAPPINGS),
+        )
+        for name in matrices:
+            row = {"matrix": name}
+            for mapping in MAPPINGS:
+                row[mapping] = sims[f"{name}/{mapping}"].gflops()
+            result.add_row(**row)
+        summary = []
+        for mapping in MAPPINGS[:-1]:
+            gain = gmean([
+                row["azul"] / row[mapping] for row in result.rows
+            ])
+            result.extras[f"azul_vs_{mapping}"] = gain
+            summary.append(f"{gain:.1f}x vs {mapping}")
+        result.notes = (
+            "Azul mapping gmean gains: " + ", ".join(summary)
+            + " (paper: 10.2x / 13.5x / 25.2x at 4096 tiles)."
+        )
+        return result
+
+    return ExperimentPlan(session=session, points=points, reduce=reduce)
+
+
+def run(matrices=None, config: Optional[AzulConfig] = None,
+        scale: int = 1, jobs: Optional[int] = None) -> ExperimentResult:
+    """Throughput of each mapping on the real-PE simulator."""
+    return spec.run(jobs=jobs, matrices=matrices, config=config,
+                    scale=scale)
 
 
 def main():

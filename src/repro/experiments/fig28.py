@@ -10,9 +10,12 @@ scaled alongside.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, \
     default_experiment_config
+from repro.experiments.spec import ExperimentPlan, register
 from repro.parallel import SimPoint
 from repro.perf import ExperimentResult
 
@@ -26,41 +29,55 @@ DEFAULT_CASES = (
 )
 
 
-def run(cases=DEFAULT_CASES, config: AzulConfig = None,
-        jobs: int = 1) -> ExperimentResult:
+@register("fig28", title="Scaling Azul up",
+          tags=("paper", "figure", "sim", "sweep"))
+def spec(cases=DEFAULT_CASES, config: Optional[AzulConfig] = None,
+         jobs: Optional[int] = None) -> ExperimentPlan:
     """Throughput across machine sizes (grid side doubling)."""
     config = config or default_experiment_config()
     machines = [
         ("1x", config),
         ("4x tiles", config.scaled(2)),
     ]
-    result = ExperimentResult(
-        experiment="fig28",
-        title="Scaling up: PCG GFLOP/s per machine size",
-        columns=["matrix"] + [label for label, _ in machines]
-        + ["scaling_4x"],
-    )
     session = ExperimentSession(config)
-    points = [
-        SimPoint(name, scale=scale, config=machine_config)
-        for name, scale in cases
-        for _, machine_config in machines
-    ]
-    sims = iter(session.simulate_many(points, jobs=jobs))
-    for name, scale in cases:
-        row = {"matrix": name}
-        values = []
-        for label, _ in machines:
-            row[label] = next(sims).gflops()
-            values.append(row[label])
-        row["scaling_4x"] = values[-1] / values[0]
-        result.add_row(**row)
-    result.notes = (
-        "Paper shape (Fig. 28): high-parallelism matrices gain >2x per "
-        "4x-tile step; parallelism-limited matrices (nd12k) do not "
-        "improve."
-    )
-    return result
+
+    points = {
+        f"{name}/{label}": SimPoint(
+            name, scale=case_scale, config=machine_config
+        )
+        for name, case_scale in cases
+        for label, machine_config in machines
+    }
+
+    def reduce(sims) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="fig28",
+            title="Scaling up: PCG GFLOP/s per machine size",
+            columns=["matrix"] + [label for label, _ in machines]
+            + ["scaling_4x"],
+        )
+        for name, _ in cases:
+            row = {"matrix": name}
+            values = []
+            for label, _ in machines:
+                row[label] = sims[f"{name}/{label}"].gflops()
+                values.append(row[label])
+            row["scaling_4x"] = values[-1] / values[0]
+            result.add_row(**row)
+        result.notes = (
+            "Paper shape (Fig. 28): high-parallelism matrices gain >2x "
+            "per 4x-tile step; parallelism-limited matrices (nd12k) do "
+            "not improve."
+        )
+        return result
+
+    return ExperimentPlan(session=session, points=points, reduce=reduce)
+
+
+def run(cases=DEFAULT_CASES, config: Optional[AzulConfig] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    """Throughput across machine sizes (grid side doubling)."""
+    return spec.run(jobs=jobs, cases=cases, config=config)
 
 
 def main():

@@ -10,68 +10,93 @@ triaging a mapping without simulating it.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.config import AzulConfig
 from repro.experiments.common import ExperimentSession, default_matrices
+from repro.experiments.spec import ExperimentPlan, register
 from repro.models.azul_analytic import predict_iteration
+from repro.parallel import SimPoint
 from repro.perf import ExperimentResult
 
 
-def run(matrices=None, config: AzulConfig = None, scale: int = 1,
-        mappers=("round_robin", "azul")) -> ExperimentResult:
+@register("model_validation", title="Analytic model vs cycle simulator",
+          tags=("extension", "study", "sim", "sweep"))
+def spec(matrices=None, config: Optional[AzulConfig] = None,
+         scale: int = 1, mappers=("round_robin", "azul"),
+         jobs: Optional[int] = None) -> ExperimentPlan:
     """Predicted vs simulated iteration cycles per matrix/mapping."""
-    matrices = matrices or default_matrices()
+    matrices = list(matrices or default_matrices())
     session = ExperimentSession(config, scale=scale)
-    config = session.config
-    result = ExperimentResult(
-        experiment="model_validation",
-        title="Analytic model vs cycle simulator (iteration cycles)",
-        columns=[
-            "matrix", "mapper", "predicted", "simulated", "error_pct",
-            "dominant_bound",
-        ],
-    )
-    for name in matrices:
-        prepared = session.prepare(name)
-        for mapper in mappers:
-            placement = session.placement(name, mapper)
-            prediction = predict_iteration(
-                prepared.matrix, prepared.lower, placement, config
-            )
-            simulated = session.simulate(name, mapper=mapper, pe="azul")
-            error = (
-                (prediction.total_cycles - simulated.total_cycles)
-                / simulated.total_cycles
-            )
-            # Dominant bound of the slowest predicted kernel.
-            slowest = max(prediction.kernels, key=lambda k: k.cycles)
-            result.add_row(
-                matrix=name,
-                mapper=mapper,
-                predicted=round(prediction.total_cycles),
-                simulated=simulated.total_cycles,
-                error_pct=100.0 * error,
-                dominant_bound=slowest.dominant_bound(),
-            )
-    errors = np.abs(np.array(result.column("error_pct")))
-    predicted = np.array(result.column("predicted"), dtype=float)
-    simulated = np.array(result.column("simulated"), dtype=float)
-    correlation = float(np.corrcoef(predicted, simulated)[0, 1])
-    result.extras = {
-        "mean_abs_error_pct": float(errors.mean()),
-        "max_abs_error_pct": float(errors.max()),
-        "correlation": correlation,
+
+    points = {
+        f"{name}/{mapper}": SimPoint(name, mapper=mapper, pe="azul")
+        for name in matrices for mapper in mappers
     }
-    result.notes = (
-        f"Mean |error| {errors.mean():.0f}%, max {errors.max():.0f}%, "
-        f"prediction-simulation correlation {correlation:.2f}.  A "
-        "first-order bound model cannot capture queuing and overlap, "
-        "but it ranks mappings correctly at ~1000x less cost — enough "
-        "to explore placements at the paper's 4096-tile scale where "
-        "simulation is impractical in Python."
-    )
-    return result
+
+    def reduce(sims) -> ExperimentResult:
+        config = session.config
+        result = ExperimentResult(
+            experiment="model_validation",
+            title="Analytic model vs cycle simulator (iteration cycles)",
+            columns=[
+                "matrix", "mapper", "predicted", "simulated",
+                "error_pct", "dominant_bound",
+            ],
+        )
+        for name in matrices:
+            prepared = session.prepare(name)
+            for mapper in mappers:
+                placement = session.placement(name, mapper)
+                prediction = predict_iteration(
+                    prepared.matrix, prepared.lower, placement, config
+                )
+                simulated = sims[f"{name}/{mapper}"]
+                error = (
+                    (prediction.total_cycles - simulated.total_cycles)
+                    / simulated.total_cycles
+                )
+                # Dominant bound of the slowest predicted kernel.
+                slowest = max(prediction.kernels,
+                              key=lambda k: k.cycles)
+                result.add_row(
+                    matrix=name,
+                    mapper=mapper,
+                    predicted=round(prediction.total_cycles),
+                    simulated=simulated.total_cycles,
+                    error_pct=100.0 * error,
+                    dominant_bound=slowest.dominant_bound(),
+                )
+        errors = np.abs(np.array(result.column("error_pct")))
+        predicted = np.array(result.column("predicted"), dtype=float)
+        simulated = np.array(result.column("simulated"), dtype=float)
+        correlation = float(np.corrcoef(predicted, simulated)[0, 1])
+        result.extras = {
+            "mean_abs_error_pct": float(errors.mean()),
+            "max_abs_error_pct": float(errors.max()),
+            "correlation": correlation,
+        }
+        result.notes = (
+            f"Mean |error| {errors.mean():.0f}%, max {errors.max():.0f}%, "
+            f"prediction-simulation correlation {correlation:.2f}.  A "
+            "first-order bound model cannot capture queuing and overlap, "
+            "but it ranks mappings correctly at ~1000x less cost — "
+            "enough to explore placements at the paper's 4096-tile scale "
+            "where simulation is impractical in Python."
+        )
+        return result
+
+    return ExperimentPlan(session=session, points=points, reduce=reduce)
+
+
+def run(matrices=None, config: Optional[AzulConfig] = None,
+        scale: int = 1, mappers=("round_robin", "azul"),
+        jobs: Optional[int] = None) -> ExperimentResult:
+    """Predicted vs simulated iteration cycles per matrix/mapping."""
+    return spec.run(jobs=jobs, matrices=matrices, config=config,
+                    scale=scale, mappers=mappers)
 
 
 def main():

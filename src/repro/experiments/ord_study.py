@@ -10,7 +10,12 @@ dependence chains; bandwidth-oriented orderings like RCM can even
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.experiments.common import default_matrices
+from repro.experiments.spec import ExperimentPlan, register
 from repro.graph import sptrsv_parallelism, symmetric_permute
 from repro.graph.coloring import color_permutation, greedy_coloring
 from repro.graph.rcm import rcm_ordering
@@ -18,54 +23,65 @@ from repro.perf import ExperimentResult
 from repro.sparse.properties import bandwidth
 from repro.sparse.suite import get_suite_matrix
 
-import numpy as np
 
-
-def run(matrices=None, scale: int = 1) -> ExperimentResult:
+@register("ord_study", title="Ordering strategies vs SpTRSV parallelism",
+          tags=("extension", "study", "analytic"))
+def spec(matrices=None, scale: int = 1,
+         jobs: Optional[int] = None) -> ExperimentPlan:
     """Per-ordering bandwidth and SpTRSV parallelism."""
-    matrices = matrices or default_matrices()
-    result = ExperimentResult(
-        experiment="ord_study",
-        title="Ordering strategies: bandwidth vs SpTRSV parallelism",
-        columns=[
-            "matrix",
-            "bw_natural", "bw_rcm", "bw_colored",
-            "par_natural", "par_rcm", "par_colored",
-        ],
-    )
-    for name in matrices:
-        matrix = get_suite_matrix(name, scale=scale, with_rhs=False)
-        orderings = {
-            "natural": np.arange(matrix.n_rows),
-            "rcm": rcm_ordering(matrix),
-            "colored": color_permutation(greedy_coloring(matrix)),
+    matrices = list(matrices or default_matrices())
+
+    def reduce(sims) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="ord_study",
+            title="Ordering strategies: bandwidth vs SpTRSV parallelism",
+            columns=[
+                "matrix",
+                "bw_natural", "bw_rcm", "bw_colored",
+                "par_natural", "par_rcm", "par_colored",
+            ],
+        )
+        for name in matrices:
+            matrix = get_suite_matrix(name, scale=scale, with_rhs=False)
+            orderings = {
+                "natural": np.arange(matrix.n_rows),
+                "rcm": rcm_ordering(matrix),
+                "colored": color_permutation(greedy_coloring(matrix)),
+            }
+            row = {"matrix": name}
+            for label, perm in orderings.items():
+                permuted = symmetric_permute(matrix, perm)
+                row[f"bw_{label}"] = bandwidth(permuted)
+                row[f"par_{label}"] = sptrsv_parallelism(
+                    permuted.lower_triangle()
+                )
+            result.add_row(**row)
+        colored_wins = sum(
+            row["par_colored"] > row["par_rcm"] for row in result.rows
+        )
+        rcm_tightens = sum(
+            row["bw_rcm"] < row["bw_natural"] for row in result.rows
+        )
+        result.extras = {
+            "colored_parallelism_wins": colored_wins,
+            "rcm_bandwidth_wins": rcm_tightens,
         }
-        row = {"matrix": name}
-        for label, perm in orderings.items():
-            permuted = symmetric_permute(matrix, perm)
-            row[f"bw_{label}"] = bandwidth(permuted)
-            row[f"par_{label}"] = sptrsv_parallelism(
-                permuted.lower_triangle()
-            )
-        result.add_row(**row)
-    colored_wins = sum(
-        row["par_colored"] > row["par_rcm"] for row in result.rows
-    )
-    rcm_tightens = sum(
-        row["bw_rcm"] < row["bw_natural"] for row in result.rows
-    )
-    result.extras = {
-        "colored_parallelism_wins": colored_wins,
-        "rcm_bandwidth_wins": rcm_tightens,
-    }
-    result.notes = (
-        f"Coloring beats RCM on SpTRSV parallelism on "
-        f"{colored_wins}/{len(result.rows)} matrices, while RCM "
-        f"tightens bandwidth on {rcm_tightens}/{len(result.rows)} — "
-        "the two orderings optimize different objectives; the paper "
-        "needs parallelism, hence coloring (Sec. II-A)."
-    )
-    return result
+        result.notes = (
+            f"Coloring beats RCM on SpTRSV parallelism on "
+            f"{colored_wins}/{len(result.rows)} matrices, while RCM "
+            f"tightens bandwidth on {rcm_tightens}/{len(result.rows)} — "
+            "the two orderings optimize different objectives; the paper "
+            "needs parallelism, hence coloring (Sec. II-A)."
+        )
+        return result
+
+    return ExperimentPlan(session=None, reduce=reduce)
+
+
+def run(matrices=None, scale: int = 1,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    """Per-ordering bandwidth and SpTRSV parallelism."""
+    return spec.run(jobs=jobs, matrices=matrices, scale=scale)
 
 
 def main():

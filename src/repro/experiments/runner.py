@@ -1,7 +1,13 @@
 """Experiment runner: ``python -m repro.experiments.runner [ids...]``.
 
-Runs one, several, or all experiments and prints their rendered
-tables.  Experiment ids match the paper's artifact numbering (see
+Runs one, several, or all experiments through the staged executor
+(:mod:`repro.experiments.executor`): every selected experiment's plan
+is built up front, identical simulation points are deduplicated
+*globally* across experiments, one merged sweep computes the unique
+points (``--jobs``), and each experiment then reduces and checkpoints
+in isolation.  ``--plan`` prints the dry-run, ``--resume`` skips
+checkpointed experiments, ``--keep-going`` records failures instead of
+aborting.  Experiment ids match the paper's artifact numbering (see
 DESIGN.md's per-experiment index).
 """
 
@@ -9,12 +15,14 @@ from __future__ import annotations
 
 import argparse
 import importlib
-import inspect
 import os
 import sys
-import time
+from typing import Iterable, List, Optional
+
+from repro.experiments.spec import ExperimentSpec, get_registered
 
 #: Experiment id -> module path.  Ordered roughly as in the paper.
+#: Importing a module registers its spec; ``load_spec`` resolves ids.
 EXPERIMENTS = {
     "tab4": "repro.experiments.tab4",
     "fig01": "repro.experiments.fig01",
@@ -56,24 +64,32 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(experiment_id: str, jobs: int = None, **kwargs):
-    """Run one experiment by id; returns its ExperimentResult.
-
-    ``jobs`` is forwarded to experiments whose ``run()`` accepts a
-    ``jobs`` parameter (the sweep-heavy ones fan their points out over
-    :func:`repro.parallel.simulate_many`); others run serially.
-    """
+def load_spec(experiment_id: str) -> ExperimentSpec:
+    """Import the module behind an id and return its registered spec."""
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"choices: {', '.join(EXPERIMENTS)}"
         )
-    module = importlib.import_module(EXPERIMENTS[experiment_id])
-    if jobs is not None and "jobs" not in kwargs:
-        parameters = inspect.signature(module.run).parameters
-        if "jobs" in parameters:
-            kwargs["jobs"] = jobs
-    return module.run(**kwargs)
+    importlib.import_module(EXPERIMENTS[experiment_id])
+    return get_registered(experiment_id)
+
+
+def load_specs(ids: Optional[Iterable[str]] = None) -> List[ExperimentSpec]:
+    """Specs for the given ids (default: all), in runner order."""
+    return [load_spec(experiment_id)
+            for experiment_id in (ids or EXPERIMENTS)]
+
+
+def run_experiment(experiment_id: str, jobs: Optional[int] = None,
+                   **kwargs):
+    """Run one experiment by id; returns its ExperimentResult.
+
+    ``jobs`` is forwarded unconditionally: every spec builder declares
+    a ``jobs`` parameter (the uniform parallelism contract), so no
+    signature probing is needed.
+    """
+    return load_spec(experiment_id).run(jobs=jobs, **kwargs)
 
 
 def main(argv=None):
@@ -85,7 +101,33 @@ def main(argv=None):
         help="experiment ids (default: all); see DESIGN.md",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list experiment ids and exit",
+        "--list", action="store_true",
+        help="list experiments (id, title, tags) and exit",
+    )
+    parser.add_argument(
+        "--filter", action="append", default=None, metavar="TAG",
+        help="only run experiments carrying TAG (repeatable: every "
+             "given tag must match); tags are shown by --list",
+    )
+    parser.add_argument(
+        "--plan", action="store_true",
+        help="dry-run: print per-experiment point counts, the global "
+             "dedup, and predicted cache hits; simulate nothing",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip experiments whose checkpointed result is already in "
+             "the artifact cache (written after each experiment)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="continue past a failing experiment; exit 1 at the end if "
+             "any failed",
+    )
+    parser.add_argument(
+        "--matrices", nargs="+", default=None, metavar="NAME",
+        help="override the matrix set of every experiment that takes "
+             "one (others run unchanged)",
     )
     parser.add_argument(
         "--csv-dir", default=None, metavar="DIR",
@@ -97,7 +139,7 @@ def main(argv=None):
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for sweep-parallel experiments "
+        help="worker processes for the merged simulation sweep "
              "(default: serial; REPRO_JOBS also honored)",
     )
     parser.add_argument(
@@ -112,11 +154,19 @@ def main(argv=None):
              "./metrics.json)",
     )
     args = parser.parse_args(argv)
+
+    specs = load_specs(args.ids or None)
+    if args.filter:
+        wanted = set(args.filter)
+        specs = [spec for spec in specs
+                 if wanted.issubset(set(spec.tags))]
     if args.list:
-        for experiment_id in EXPERIMENTS:
-            print(experiment_id)
+        for spec in specs:
+            print(spec.describe())
         return 0
-    ids = args.ids or list(EXPERIMENTS)
+    if not specs:
+        print("no experiments match the selection", file=sys.stderr)
+        return 1
     if args.csv_dir:
         os.makedirs(args.csv_dir, exist_ok=True)
 
@@ -126,20 +176,63 @@ def main(argv=None):
 
         obs.enable(metrics=True, tracing=args.trace is not None)
 
-    for experiment_id in ids:
-        start = time.perf_counter()
-        result = run_experiment(experiment_id, jobs=args.jobs)
-        elapsed = time.perf_counter() - start
+    overrides = {}
+    if args.matrices is not None:
+        overrides["matrices"] = list(args.matrices)
+
+    from repro.experiments.executor import (
+        ExperimentFailure,
+        execute,
+        plan_experiments,
+    )
+
+    if args.plan:
+        # Dry run: always survey every experiment (keep_going) so the
+        # printed plan covers the whole selection.
+        _, sweep = plan_experiments(
+            specs, jobs=args.jobs, resume=args.resume,
+            overrides=overrides, keep_going=True,
+        )
+        print(sweep.render())
+        return 0
+
+    def on_outcome(outcome):
+        if outcome.status == "failed":
+            print(f"[{outcome.experiment_id} FAILED: {outcome.error}]",
+                  file=sys.stderr)
+            return
+        result = outcome.result
         print(result.render())
-        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        if outcome.status == "resumed":
+            print(f"[{outcome.experiment_id} resumed from checkpoint]")
+        else:
+            print(f"[{outcome.experiment_id} completed in "
+                  f"{outcome.seconds:.1f}s]")
         print()
         if args.csv_dir:
             result.to_csv(
-                os.path.join(args.csv_dir, f"{experiment_id}.csv")
+                os.path.join(args.csv_dir, f"{outcome.experiment_id}.csv")
             )
 
+    try:
+        report = execute(
+            specs, jobs=args.jobs, keep_going=args.keep_going,
+            resume=args.resume, overrides=overrides,
+            on_outcome=on_outcome,
+        )
+        exit_code = report.exit_code
+        if exit_code:
+            failed = ", ".join(
+                outcome.experiment_id for outcome in report.failures()
+            )
+            print(f"[{len(report.failures())} experiment(s) failed: "
+                  f"{failed}]", file=sys.stderr)
+    except ExperimentFailure as failure:
+        print(f"[aborted: {failure}]", file=sys.stderr)
+        exit_code = 1
+
     if observe:
-        _export_observability(args, ids)
+        _export_observability(args, [spec.id for spec in specs])
 
     if args.cache_stats:
         from repro.cache import ArtifactCache
@@ -147,7 +240,7 @@ def main(argv=None):
 
         cache = ArtifactCache.default()
         print(format_cache_stats(cache.stats, cache.inventory()))
-    return 0
+    return exit_code
 
 
 def _export_observability(args, ids) -> None:

@@ -8,38 +8,55 @@ SpTRSV's, and permutation widens SpTRSV parallelism by 10-300x.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import default_matrices
+from repro.experiments.spec import ExperimentPlan, register
 from repro.graph import parallelism_report
 from repro.perf import ExperimentResult
 from repro.sparse.suite import get_suite_matrix
 
 
-def run(matrices=None, scale: int = 1) -> ExperimentResult:
-    """Compute the Table I rows (uses unpermuted inputs as the baseline)."""
-    matrices = matrices or default_matrices()
-    result = ExperimentResult(
-        experiment="tab1",
-        title="Maximum available parallelism (work / critical path)",
-        columns=[
-            "matrix", "spmv", "sptrsv_original", "sptrsv_permuted",
-            "coloring_gain",
-        ],
-    )
-    for name in matrices:
-        matrix = get_suite_matrix(name, scale=scale, with_rhs=False)
-        report = parallelism_report(name, matrix)
-        result.add_row(
-            matrix=name,
-            spmv=report.spmv,
-            sptrsv_original=report.sptrsv_original,
-            sptrsv_permuted=report.sptrsv_permuted,
-            coloring_gain=report.coloring_gain,
+@register("tab1", title="Available parallelism of SpMV vs SpTRSV",
+          tags=("paper", "table", "analytic"))
+def spec(matrices=None, scale: int = 1,
+         jobs: Optional[int] = None) -> ExperimentPlan:
+    """Compute the Table I rows (uses unpermuted inputs as baseline)."""
+    matrices = list(matrices or default_matrices())
+
+    def reduce(sims) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="tab1",
+            title="Maximum available parallelism (work / critical path)",
+            columns=[
+                "matrix", "spmv", "sptrsv_original", "sptrsv_permuted",
+                "coloring_gain",
+            ],
         )
-    result.notes = (
-        "Paper shape (Table I): SpMV >> SpTRSV parallelism; permutation "
-        "multiplies SpTRSV parallelism but it remains bounded."
-    )
-    return result
+        for name in matrices:
+            matrix = get_suite_matrix(name, scale=scale, with_rhs=False)
+            report = parallelism_report(name, matrix)
+            result.add_row(
+                matrix=name,
+                spmv=report.spmv,
+                sptrsv_original=report.sptrsv_original,
+                sptrsv_permuted=report.sptrsv_permuted,
+                coloring_gain=report.coloring_gain,
+            )
+        result.notes = (
+            "Paper shape (Table I): SpMV >> SpTRSV parallelism; "
+            "permutation multiplies SpTRSV parallelism but it remains "
+            "bounded."
+        )
+        return result
+
+    return ExperimentPlan(session=None, reduce=reduce)
+
+
+def run(matrices=None, scale: int = 1,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    """Compute the Table I rows (uses unpermuted inputs as baseline)."""
+    return spec.run(jobs=jobs, matrices=matrices, scale=scale)
 
 
 def main():

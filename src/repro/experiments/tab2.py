@@ -6,28 +6,42 @@ the widely used solver/preconditioner combinations.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.experiments.spec import ExperimentPlan, register
 from repro.perf import ExperimentResult
 from repro.solvers import solver_table
 
 
-def run() -> ExperimentResult:
+@register("tab2", title="Iterative solvers and required kernels",
+          tags=("paper", "table", "analytic"))
+def spec(jobs: Optional[int] = None) -> ExperimentPlan:
     """Render the solver/preconditioner/kernels table."""
-    result = ExperimentResult(
-        experiment="tab2",
-        title="Iterative solvers and required sparse kernels",
-        columns=["algorithm", "preconditioner", "kernels"],
-    )
-    for spec in solver_table():
-        result.add_row(
-            algorithm=spec.algorithm,
-            preconditioner=spec.preconditioner,
-            kernels=" + ".join(spec.kernels),
+
+    def reduce(sims) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="tab2",
+            title="Iterative solvers and required sparse kernels",
+            columns=["algorithm", "preconditioner", "kernels"],
         )
-    result.notes = (
-        "Every listed solver reduces to SpMV and/or SpTRSV — the two "
-        "kernels Azul accelerates (paper Table II)."
-    )
-    return result
+        for solver in solver_table():
+            result.add_row(
+                algorithm=solver.algorithm,
+                preconditioner=solver.preconditioner,
+                kernels=" + ".join(solver.kernels),
+            )
+        result.notes = (
+            "Every listed solver reduces to SpMV and/or SpTRSV — the two "
+            "kernels Azul accelerates (paper Table II)."
+        )
+        return result
+
+    return ExperimentPlan(session=None, reduce=reduce)
+
+
+def run(jobs: Optional[int] = None) -> ExperimentResult:
+    """Render the solver/preconditioner/kernels table."""
+    return spec.run(jobs=jobs)
 
 
 def main():

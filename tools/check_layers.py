@@ -33,12 +33,19 @@ library:
    the three may import the simulator or the experiment pipeline (the
    functional solver layer is the simulator's validation oracle, so it
    must stay simulator-free).
+9. **Experiments layering** — within ``repro.experiments`` the layers
+   ``spec <- common <- executor <- [experiment modules] <- runner``
+   may only depend downward.  The experiment modules form a *sibling
+   group*: they share one layer and none may import another, so every
+   experiment stays independently loadable and the executor can plan
+   any subset.  The experiments package also never imports the CLI.
 
 The scan is purely static (``ast`` over every ``repro`` module);
 ``from x import y`` and ``import x`` are both resolved, including
-relative imports.  Package ``__init__`` modules are exempt from the
-intra-package layering rule (they are the public facade and may
-re-export any layer).  Exit code 0 = contract holds.
+relative imports and function-local imports.  Package ``__init__``
+modules are exempt from the intra-package layering rule (they are the
+public facade and may re-export any layer).  Exit code 0 = contract
+holds.
 """
 
 from __future__ import annotations
@@ -46,19 +53,40 @@ from __future__ import annotations
 import ast
 import sys
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 
+#: One layer: a module name, or a list of module names forming a
+#: *sibling group* — same rank, mutually independent (no member may
+#: import another member).
+Layer = Union[str, List[str]]
+
 #: Bottom-up layer order per layered package.  Within a package a
 #: module may import only itself and strictly lower layers.
-LAYERED_PACKAGES: Dict[str, List[str]] = {
+LAYERED_PACKAGES: Dict[str, List[Layer]] = {
     "repro.sim": ["events", "state", "fabric", "issue", "engine"],
     "repro.hypergraph": [
         "hgraph", "metrics", "rebalance", "coarsen", "initial",
         "refine", "refine_vec", "partitioner",
     ],
     "repro.sparse": ["csr", "schedule", "ops"],
+    "repro.experiments": [
+        "spec",
+        "common",
+        "executor",
+        [  # sibling group: one spec module per experiment id
+            "tab4", "fig01", "fig02", "fig03", "tab1", "fig07", "tab2",
+            "fig09", "fig10", "fig11", "fig17", "fig20", "fig21",
+            "fig22", "fig23", "tabD", "tab5", "fig24", "fig25",
+            "fig26", "fig27", "fig28", "tab_fill", "abl_row_weight",
+            "abl_quantiles", "abl_partitioner", "abl_threads",
+            "abl_buffer", "abl_trees", "tab2_sim", "corr_study",
+            "ord_study", "abl_topology", "abl_seed",
+            "model_validation", "eff_study",
+        ],
+        "runner",
+    ],
 }
 
 #: Back-compat alias (historical public name for the sim-only rule).
@@ -109,11 +137,13 @@ FORBIDDEN: List[Tuple[str, str, str]] = [
      "the solver stack never reaches into the experiment pipeline"),
     ("repro.solvers", "repro.experiments",
      "the solver stack never reaches into the experiment pipeline"),
+    ("repro.experiments", "repro.cli",
+     "experiments are a library the CLI drives, never the reverse"),
 ]
 
 
-def _module_name(path: Path) -> str:
-    rel = path.relative_to(SRC).with_suffix("")
+def _module_name(path: Path, src: Path = SRC) -> str:
+    rel = path.relative_to(src).with_suffix("")
     parts = list(rel.parts)
     if parts[-1] == "__init__":
         parts = parts[:-1]
@@ -143,17 +173,31 @@ def _imports(path: Path, module: str) -> Iterator[Tuple[int, str]]:
                 yield node.lineno, target
 
 
-def _layer(module: str) -> Optional[Tuple[str, int]]:
-    """``(package, layer-index)`` of a layered-package module, else None."""
+def _layer_index(layers: List[Layer]) -> Dict[str, int]:
+    """Flatten a layer spec into ``module-segment -> rank``."""
+    index: Dict[str, int] = {}
+    for rank, layer in enumerate(layers):
+        for name in ([layer] if isinstance(layer, str) else layer):
+            index[name] = rank
+    return index
+
+
+_LAYER_INDEX: Dict[str, Dict[str, int]] = {
+    package: _layer_index(layers)
+    for package, layers in LAYERED_PACKAGES.items()
+}
+
+
+def _layer(module: str) -> Optional[Tuple[str, int, str]]:
+    """``(package, rank, segment)`` of a layered-package module, else None."""
     parts = module.split(".")
-    for package, layers in LAYERED_PACKAGES.items():
+    for package, index in _LAYER_INDEX.items():
         package_parts = package.split(".")
         depth = len(package_parts)
         if len(parts) >= depth + 1 and parts[:depth] == package_parts:
-            try:
-                return package, layers.index(parts[depth])
-            except ValueError:
-                return None
+            segment = parts[depth]
+            rank = index.get(segment)
+            return None if rank is None else (package, rank, segment)
     return None
 
 
@@ -161,23 +205,29 @@ def check(src: Path = SRC) -> List[str]:
     """All layer-contract violations in the tree (empty = clean)."""
     violations: List[str] = []
     for path in sorted(src.rglob("*.py")):
-        module = _module_name(path)
+        module = _module_name(path, src)
         importer = None if path.name == "__init__.py" else _layer(module)
         for lineno, target in _imports(path, module):
             where = f"{path.relative_to(src.parent)}:{lineno}"
-            # Rule 1/2: strict layering inside each layered package.
+            # Rule 1/2/9: strict layering inside each layered package.
             target_layer = _layer(target)
             if (importer is not None and target_layer is not None
-                    and importer[0] == target_layer[0]
-                    and target_layer[1] > importer[1]):
+                    and importer[0] == target_layer[0]):
                 package = importer[0]
-                layers = LAYERED_PACKAGES[package]
-                violations.append(
-                    f"{where}: {module} (layer "
-                    f"'{layers[importer[1]]}') imports {target} "
-                    f"(higher {package} layer "
-                    f"'{layers[target_layer[1]]}')"
-                )
+                if target_layer[1] > importer[1]:
+                    violations.append(
+                        f"{where}: {module} (layer "
+                        f"'{importer[2]}') imports {target} "
+                        f"(higher {package} layer "
+                        f"'{target_layer[2]}')"
+                    )
+                elif (target_layer[1] == importer[1]
+                        and target_layer[2] != importer[2]):
+                    violations.append(
+                        f"{where}: {module} imports sibling {target} "
+                        f"(same-rank {package} modules must stay "
+                        f"independent)"
+                    )
             # Rule 3+: forbidden cross-package edges.
             for src_prefix, bad_prefix, reason in FORBIDDEN:
                 if (module == src_prefix
@@ -207,8 +257,13 @@ def main() -> int:
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
         return 1
+    def _render(layer: Layer) -> str:
+        if isinstance(layer, str):
+            return layer
+        return f"[{len(layer)} siblings]"
+
     summaries = "; ".join(
-        f"{package}: {' <- '.join(layers)}"
+        f"{package}: {' <- '.join(_render(layer) for layer in layers)}"
         for package, layers in LAYERED_PACKAGES.items()
     )
     print(f"layer contract OK ({summaries}; "
