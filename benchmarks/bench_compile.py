@@ -1,0 +1,70 @@
+"""Benchmarks for dataflow program compilation (lowering strategies).
+
+The ``compile_program``-marked benchmarks track the array-backed
+``VectorizedLowering`` against the retained per-element
+``ReferenceLowering`` in ``BENCH_compile.json`` (see
+``benchmarks/emit_bench.py --suite compile``): the full PCG program
+triple — SpMV plus both SpTRSV kernels, multicast/reduction forests
+included — on the largest solver-suite matrix (BenElechi1 at suite
+scale 4) mapped onto the paper's 64-tile torus.
+
+Both strategies produce bit-identical ``CompiledKernel`` programs
+(``tests/test_dataflow_equivalence.py``), so the pair ratio is pure
+lowering speed.  Sweep-scale runs compile each (matrix, placement)
+point once and fan out over simulator knobs via the program cache, but
+cold compiles still bound how fast a new sweep starts.
+"""
+
+import pytest
+
+from repro.comm.torus import TorusGeometry
+from repro.config import AzulConfig
+from repro.core.block import map_block
+from repro.dataflow.program import build_pcg_program
+from repro.precond.ic0 import ic0
+from repro.sparse.suite import get_suite_matrix
+
+#: Largest solver-suite benchmark matrix (n=4480, ~108k nonzeros).
+COMPILE_MATRIX = "BenElechi1"
+COMPILE_SCALE = 4
+#: The paper's 64-tile machine (8x8 torus).
+MESH_ROWS = 8
+MESH_COLS = 8
+
+
+@pytest.fixture(scope="module")
+def compile_inputs():
+    """Matrix, IC(0) factor, placement, and geometry (built once)."""
+    matrix, _ = get_suite_matrix(COMPILE_MATRIX, scale=COMPILE_SCALE)
+    lower = ic0(matrix)
+    placement = map_block(matrix, lower, MESH_ROWS * MESH_COLS)
+    geometry = TorusGeometry(MESH_ROWS, MESH_COLS)
+    config = AzulConfig(mesh_rows=MESH_ROWS, mesh_cols=MESH_COLS)
+    return matrix, lower, placement, geometry, config
+
+
+def _compile(inputs):
+    matrix, lower, placement, geometry, config = inputs
+    return build_pcg_program(
+        matrix, lower, placement, geometry, config, multicast="tree",
+    )
+
+
+@pytest.mark.compile_program
+def test_compile_vectorized(benchmark, compile_inputs, monkeypatch):
+    monkeypatch.delenv("AZUL_DATAFLOW_REFERENCE", raising=False)
+    program = benchmark.pedantic(
+        lambda: _compile(compile_inputs),
+        rounds=10, iterations=1, warmup_rounds=1,
+    )
+    assert program.spmv.total_fmacs > 0
+
+
+@pytest.mark.compile_program
+def test_compile_reference(benchmark, compile_inputs, monkeypatch):
+    monkeypatch.setenv("AZUL_DATAFLOW_REFERENCE", "1")
+    program = benchmark.pedantic(
+        lambda: _compile(compile_inputs),
+        rounds=3, iterations=1,
+    )
+    assert program.spmv.total_fmacs > 0

@@ -19,6 +19,10 @@ Suites:
   ``benchmarks/bench_solver.py``: level-scheduled vs reference SpTRSV,
   IC(0), and end-to-end PCG on the largest solver-suite matrix
   (BenElechi1 scaled 4x).
+* ``compile`` — the ``compile_program`` marker set in
+  ``benchmarks/bench_compile.py``: vectorized vs reference dataflow
+  lowering of the full PCG program triple on BenElechi1 scaled 4x
+  mapped onto the 64-tile torus.
 
 Usage::
 
@@ -79,6 +83,15 @@ SUITES = {
             "test_pcg_level": 1.5,
         },
         "pair_label": "level-scheduled",
+    },
+    "compile": {
+        "bench_file": "bench_compile.py",
+        "marker": "compile_program",
+        "default_output": "BENCH_compile.json",
+        "speedup_pairs": (
+            ("test_compile_vectorized", "test_compile_reference"),
+        ),
+        "pair_label": "vectorized-lowering",
     },
 }
 

@@ -10,8 +10,18 @@ and serialization (Sec. IV-D, Fig. 18).
 from repro.comm.torus import TorusGeometry
 from repro.comm.mesh import MeshGeometry
 from repro.comm.routing import route_path, hop_distance
-from repro.comm.multicast import MulticastTree, build_multicast_tree
-from repro.comm.reduction import ReductionTree, build_reduction_tree
+from repro.comm.multicast import (
+    MulticastForest,
+    MulticastTree,
+    build_multicast_forest,
+    build_multicast_tree,
+)
+from repro.comm.reduction import (
+    ReductionForest,
+    ReductionTree,
+    build_reduction_forest,
+    build_reduction_tree,
+)
 
 def make_geometry(config):
     """Build the NoC geometry a config describes (torus or mesh)."""
@@ -25,8 +35,12 @@ __all__ = [
     "make_geometry",
     "route_path",
     "hop_distance",
+    "MulticastForest",
     "MulticastTree",
+    "build_multicast_forest",
     "build_multicast_tree",
+    "ReductionForest",
     "ReductionTree",
+    "build_reduction_forest",
     "build_reduction_tree",
 ]

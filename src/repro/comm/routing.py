@@ -8,6 +8,11 @@ destinations of one multicast yields a tree (Sec. IV-D).
 
 from __future__ import annotations
 
+from typing import Tuple
+
+import numpy as np
+
+from repro.comm.mesh import MeshGeometry
 from repro.comm.torus import TorusGeometry
 
 
@@ -32,3 +37,63 @@ def route_path(torus: TorusGeometry, src: int, dst: int) -> list:
 def hop_distance(torus: TorusGeometry, src: int, dst: int) -> int:
     """Minimal hops between two tiles (wrap-aware)."""
     return torus.hop_distance(src, dst)
+
+
+def route_edges_batch(geometry, srcs,
+                      dsts) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dimension-order path edges of many ``(src, dst)`` pairs at once.
+
+    Returns ``(edge_ptr, parents, children)``: pair ``p``'s path is the
+    ``(parents[e], children[e])`` link sequence for ``e`` in
+    ``edge_ptr[p]:edge_ptr[p+1]`` — exactly the consecutive-node pairs
+    of :func:`route_path` for the same endpoints.  Fully vectorized for
+    the torus and mesh geometries; any other geometry falls back to a
+    per-pair :func:`route_path` loop.
+    """
+    srcs = np.asarray(srcs, dtype=np.int64)
+    dsts = np.asarray(dsts, dtype=np.int64)
+    if not isinstance(geometry, (TorusGeometry, MeshGeometry)):
+        edge_ptr = np.zeros(len(srcs) + 1, dtype=np.int64)
+        parents_list = []
+        children_list = []
+        for p, (src, dst) in enumerate(zip(srcs.tolist(), dsts.tolist())):
+            path = route_path(geometry, src, dst)
+            parents_list.extend(path[:-1])
+            children_list.extend(path[1:])
+            edge_ptr[p + 1] = len(parents_list)
+        return (edge_ptr, np.asarray(parents_list, dtype=np.int64),
+                np.asarray(children_list, dtype=np.int64))
+    n_rows, n_cols = geometry.rows, geometry.cols
+    src_row, src_col = np.divmod(srcs, n_cols)
+    dst_row, dst_col = np.divmod(dsts, n_cols)
+    if isinstance(geometry, TorusGeometry):
+        # Shorter wrap direction per axis; ties go forward (east/south),
+        # matching TorusGeometry._axis_steps.
+        forward = (dst_col - src_col) % n_cols
+        backward = (src_col - dst_col) % n_cols
+        n_x = np.minimum(forward, backward)
+        step_x = np.where(forward <= backward, 1, -1)
+        forward = (dst_row - src_row) % n_rows
+        backward = (src_row - dst_row) % n_rows
+        n_y = np.minimum(forward, backward)
+        step_y = np.where(forward <= backward, 1, -1)
+    else:
+        n_x = np.abs(dst_col - src_col)
+        step_x = np.where(dst_col >= src_col, 1, -1)
+        n_y = np.abs(dst_row - src_row)
+        step_y = np.where(dst_row >= src_row, 1, -1)
+    hops = n_x + n_y
+    edge_ptr = np.zeros(len(srcs) + 1, dtype=np.int64)
+    np.cumsum(hops, out=edge_ptr[1:])
+    n_edges = int(edge_ptr[-1])
+    pair = np.repeat(np.arange(len(srcs), dtype=np.int64), hops)
+    step = np.arange(n_edges, dtype=np.int64) - edge_ptr[pair]
+
+    def _tile_after(steps_taken):
+        x_taken = np.minimum(steps_taken, n_x[pair])
+        y_taken = steps_taken - x_taken
+        col = (src_col[pair] + step_x[pair] * x_taken) % n_cols
+        row = (src_row[pair] + step_y[pair] * y_taken) % n_rows
+        return row * n_cols + col
+
+    return edge_ptr, _tile_after(step), _tile_after(step + 1)

@@ -22,6 +22,7 @@ from typing import Any, Dict, Optional
 ENV_SIM_REFERENCE = "AZUL_SIM_REFERENCE"
 ENV_PART_REFERENCE = "AZUL_PART_REFERENCE"
 ENV_SOLVER_REFERENCE = "AZUL_SOLVER_REFERENCE"
+ENV_DATAFLOW_REFERENCE = "AZUL_DATAFLOW_REFERENCE"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
@@ -49,6 +50,7 @@ def overrides() -> Dict[str, Dict[str, Any]]:
     sim_raw = os.environ.get(ENV_SIM_REFERENCE)
     part_raw = os.environ.get(ENV_PART_REFERENCE)
     solver_raw = os.environ.get(ENV_SOLVER_REFERENCE)
+    dataflow_raw = os.environ.get(ENV_DATAFLOW_REFERENCE)
     dir_raw = os.environ.get(ENV_CACHE_DIR)
     max_raw = os.environ.get(ENV_CACHE_MAX_BYTES)
     disable_raw = os.environ.get(ENV_CACHE_DISABLE)
@@ -74,6 +76,12 @@ def overrides() -> Dict[str, Dict[str, Any]]:
             "raw": solver_raw,
             "effective": (
                 "reference" if env_truthy(solver_raw) else "level"
+            ),
+        },
+        ENV_DATAFLOW_REFERENCE: {
+            "raw": dataflow_raw,
+            "effective": (
+                "reference" if env_truthy(dataflow_raw) else "vectorized"
             ),
         },
         ENV_CACHE_DIR: {

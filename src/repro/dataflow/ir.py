@@ -1,0 +1,296 @@
+"""Array-backed compiled-kernel IR (structure-of-arrays).
+
+A :class:`CompiledKernel` is everything the simulator needs to execute
+one SpMV or SpTRSV under a given placement, stored as flat numpy
+arrays instead of an object graph:
+
+* **Column segments** — CSR-style grouping: segment ``s`` covers
+  ``rows[seg_ptr[s]:seg_ptr[s+1]]`` / ``values[...]``, the local
+  nonzeros of column ``seg_col[s]`` on tile ``seg_tile[s]``.  Segments
+  are sorted by ``(tile, col)``; within a segment the original
+  nonzero order is preserved, so the FMAC stream is bit-identical to
+  the historical dict-of-dicts program.
+* **Multicast forest** — all of the kernel's multicast trees
+  concatenated, ordered by ``(col, per-col tree index)``: tree ``t``
+  distributes column ``mcast_col[t]`` from root ``mcast_root[t]``
+  along edges ``(mcast_parent[e], mcast_child[e])`` for ``e`` in
+  ``mcast_edge_ptr[t]:mcast_edge_ptr[t+1]`` to destinations
+  ``mcast_dst[mcast_dst_ptr[t]:mcast_dst_ptr[t+1]]``.  Edge lists and
+  destination lists are sorted (the canonical form
+  :func:`repro.comm.multicast.build_multicast_tree` produces).
+  ``mcast_first``/``mcast_count`` give O(1) per-column lookup.
+* **Reduction forest** — one tree per row with remote partials,
+  ordered by row: reduction edges are ``(child, parent)`` pairs,
+  sorted per tree; ``red_index[i]`` maps a row to its tree (or -1).
+* **Dense counters** — ``local_counts[p, i]`` is the FMAC count tile
+  ``local_tiles[p]`` must apply to its row-``i`` partial (tiles with
+  no nonzeros are not materialized); ``row_remote_inputs[i]`` the
+  number of tree children delivering partials into row ``i``'s home.
+
+The historical :class:`KernelProgram` dict fields remain available as
+lazily-materialized *views* (:attr:`col_segments`,
+:attr:`mcast_trees`, :attr:`red_trees`) for tests and exploratory
+code; the simulator and functional executors read the flat arrays
+only.
+
+Layer contract: ``ir`` sits above ``messages``/``tasks`` and may
+import :mod:`repro.comm` tree types for the compat views, but nothing
+from :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.multicast import MulticastTree
+from repro.comm.reduction import ReductionTree
+
+
+def _empty_int() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+@dataclass(eq=False)
+class CompiledKernel:
+    """The mapped dataflow of one kernel, in flat-array form.
+
+    Attributes
+    ----------
+    name:
+        ``"spmv"``, ``"sptrsv_lower"`` or ``"sptrsv_upper"``.
+    n:
+        Vector length (matrix dimension).
+    vec_tile:
+        Home tile of each vector index.
+    seg_tile, seg_col, seg_ptr, rows, values:
+        Column segments: segment ``s`` holds the row indices
+        ``rows[seg_ptr[s]:seg_ptr[s+1]]`` and coefficients
+        ``values[...]`` of column ``seg_col[s]``'s nonzeros on tile
+        ``seg_tile[s]`` (off-diagonal only for SpTRSV).  Sorted by
+        ``(tile, col)``.
+    mcast_col, mcast_root, mcast_edge_ptr, mcast_parent, mcast_child:
+        Multicast forest: per-tree root and column, plus the
+        concatenated sorted ``(parent, child)`` edge lists.
+    mcast_dst_ptr, mcast_dst:
+        Concatenated sorted destination lists per tree.
+    mcast_first, mcast_count:
+        Per-column tree lookup: column ``j`` owns trees
+        ``mcast_first[j] : mcast_first[j] + mcast_count[j]`` (count 0
+        when the column has no remote destinations).  Tree mode uses
+        one merged tree per column; unicast mode one
+        single-destination tree per receiver.
+    red_row, red_edge_ptr, red_child, red_parent, red_index:
+        Reduction forest: tree ``t`` reduces row ``red_row[t]``'s
+        partials along sorted ``(child, parent)`` edges;
+        ``red_index[i]`` is row ``i``'s tree index or -1.
+    row_remote_inputs:
+        Number of tree children delivering partials into each row's
+        home (0 for home-only rows).
+    local_tiles, local_counts:
+        ``local_counts[p, i]``: FMACs tile ``local_tiles[p]`` must
+        apply to its row-``i`` partial before the partial completes.
+        ``local_tiles`` is sorted and holds only tiles with nonzeros.
+    total_fmacs:
+        Static FMAC count across all tiles, computed once at lowering
+        time (``len(rows)``).
+    inv_diag:
+        Reciprocal diagonal per row (SpTRSV only; the paper stores
+        ``1/d`` to avoid divisions, Sec. VI-A).
+    dependent:
+        True for SpTRSV: value ``j`` is only produced by solving row
+        ``j``; False for SpMV where all values multicast at time 0.
+    initial_rows:
+        SpTRSV rows with no off-diagonal dependences (solvable at t=0).
+    """
+
+    name: str
+    n: int
+    vec_tile: np.ndarray
+    # -- column segments ----------------------------------------------
+    seg_tile: np.ndarray
+    seg_col: np.ndarray
+    seg_ptr: np.ndarray
+    rows: np.ndarray
+    values: np.ndarray
+    # -- multicast forest ---------------------------------------------
+    mcast_col: np.ndarray
+    mcast_root: np.ndarray
+    mcast_edge_ptr: np.ndarray
+    mcast_parent: np.ndarray
+    mcast_child: np.ndarray
+    mcast_dst_ptr: np.ndarray
+    mcast_dst: np.ndarray
+    mcast_first: np.ndarray
+    mcast_count: np.ndarray
+    # -- reduction forest ---------------------------------------------
+    red_row: np.ndarray
+    red_edge_ptr: np.ndarray
+    red_child: np.ndarray
+    red_parent: np.ndarray
+    red_index: np.ndarray
+    row_remote_inputs: np.ndarray
+    # -- dense local-FMAC counters ------------------------------------
+    local_tiles: np.ndarray
+    local_counts: np.ndarray
+    # -- scalars / optionals ------------------------------------------
+    total_fmacs: int = 0
+    inv_diag: Optional[np.ndarray] = None
+    dependent: bool = False
+    initial_rows: np.ndarray = field(default_factory=_empty_int)
+
+    def __getstate__(self):
+        """Pickle the flat arrays only, never the lazy dict views."""
+        return {
+            key: value for key, value in self.__dict__.items()
+            if not key.endswith("_view")
+        }
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        """Number of (tile, column) segments."""
+        return len(self.seg_tile)
+
+    @property
+    def n_mcast_trees(self) -> int:
+        """Number of multicast trees in the forest."""
+        return len(self.mcast_col)
+
+    @property
+    def n_red_trees(self) -> int:
+        """Number of reduction trees in the forest."""
+        return len(self.red_row)
+
+    def flops(self) -> int:
+        """Useful FLOPs of one kernel execution (FMAC = 2)."""
+        fmacs = 2 * self.total_fmacs
+        if self.dependent:
+            fmacs += self.n  # one reciprocal-diagonal multiply per row
+        return fmacs
+
+    # ------------------------------------------------------------------
+    # Exact structural equality (tests / lowering parity)
+    # ------------------------------------------------------------------
+    _ARRAY_FIELDS: Tuple[str, ...] = (
+        "vec_tile", "seg_tile", "seg_col", "seg_ptr", "rows", "values",
+        "mcast_col", "mcast_root", "mcast_edge_ptr", "mcast_parent",
+        "mcast_child", "mcast_dst_ptr", "mcast_dst", "mcast_first",
+        "mcast_count", "red_row", "red_edge_ptr", "red_child",
+        "red_parent", "red_index", "row_remote_inputs", "local_tiles",
+        "local_counts", "initial_rows",
+    )
+
+    def same_program(self, other: "CompiledKernel") -> bool:
+        """Bit-exact structural equality with another compiled kernel.
+
+        Every flat array (including ``values``, compared bit-for-bit)
+        plus the scalar fields must match.  This is the property the
+        lowering-equivalence suite asserts between the reference and
+        vectorized strategies.
+        """
+        if (self.name != other.name or self.n != other.n
+                or self.dependent != other.dependent
+                or self.total_fmacs != other.total_fmacs):
+            return False
+        for attr in self._ARRAY_FIELDS:
+            if not np.array_equal(getattr(self, attr), getattr(other, attr)):
+                return False
+        if (self.inv_diag is None) != (other.inv_diag is None):
+            return False
+        if self.inv_diag is not None and not np.array_equal(
+                self.inv_diag, other.inv_diag):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Historical dict views (tests / exploratory code only — the hot
+    # paths read the flat arrays directly)
+    # ------------------------------------------------------------------
+    @property
+    def col_segments(self) -> Dict[int, Dict[int, Tuple[np.ndarray,
+                                                        np.ndarray]]]:
+        """``{tile: {col: (rows, values)}}`` view of the segments."""
+        cached = self.__dict__.get("_col_segments_view")
+        if cached is not None:
+            return cached
+        view: Dict[int, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
+        seg_ptr = self.seg_ptr
+        for s in range(self.n_segments):
+            lo, hi = int(seg_ptr[s]), int(seg_ptr[s + 1])
+            view.setdefault(int(self.seg_tile[s]), {})[
+                int(self.seg_col[s])
+            ] = (self.rows[lo:hi], self.values[lo:hi])
+        self.__dict__["_col_segments_view"] = view
+        return view
+
+    @property
+    def mcast_trees(self) -> Dict[int, List[MulticastTree]]:
+        """``{col: [MulticastTree, ...]}`` view of the multicast forest."""
+        cached = self.__dict__.get("_mcast_trees_view")
+        if cached is not None:
+            return cached
+        view: Dict[int, List[MulticastTree]] = {}
+        edge_ptr, dst_ptr = self.mcast_edge_ptr, self.mcast_dst_ptr
+        for t in range(self.n_mcast_trees):
+            lo, hi = int(edge_ptr[t]), int(edge_ptr[t + 1])
+            children: Dict[int, List[int]] = {}
+            edges = []
+            for e in range(lo, hi):
+                parent = int(self.mcast_parent[e])
+                child = int(self.mcast_child[e])
+                children.setdefault(parent, []).append(child)
+                edges.append((parent, child))
+            tree = MulticastTree(
+                root=int(self.mcast_root[t]),
+                destinations=tuple(
+                    int(d) for d in
+                    self.mcast_dst[int(dst_ptr[t]):int(dst_ptr[t + 1])]
+                ),
+                children=children,
+                edges=edges,
+            )
+            view.setdefault(int(self.mcast_col[t]), []).append(tree)
+        self.__dict__["_mcast_trees_view"] = view
+        return view
+
+    @property
+    def red_trees(self) -> Dict[int, ReductionTree]:
+        """``{row: ReductionTree}`` view of the reduction forest."""
+        cached = self.__dict__.get("_red_trees_view")
+        if cached is not None:
+            return cached
+        view: Dict[int, ReductionTree] = {}
+        edge_ptr = self.red_edge_ptr
+        for t in range(self.n_red_trees):
+            row = int(self.red_row[t])
+            root = int(self.vec_tile[row])
+            lo, hi = int(edge_ptr[t]), int(edge_ptr[t + 1])
+            parent: Dict[int, int] = {}
+            incoming: Dict[int, int] = {}
+            edges = []
+            for e in range(lo, hi):
+                child = int(self.red_child[e])
+                par = int(self.red_parent[e])
+                parent[child] = par
+                incoming[par] = incoming.get(par, 0) + 1
+                edges.append((child, par))
+            sources = tuple(
+                int(tile) for tile in
+                self.local_tiles[self.local_counts[:, row] > 0]
+                if int(tile) != root
+            )
+            combine = tuple(sorted(
+                tile for tile, count in incoming.items()
+                if count >= 2 or tile in sources or tile == root
+            ))
+            view[row] = ReductionTree(
+                root=root, sources=sources, parent=parent,
+                edges=edges, combine_tiles=combine,
+            )
+        self.__dict__["_red_trees_view"] = view
+        return view

@@ -1,102 +1,40 @@
 """Compiled kernel program: the mapped dataflow of one kernel.
 
-A :class:`KernelProgram` is everything the simulator needs to execute
-one SpMV or SpTRSV under a given placement: per-tile column segments
-(the local FMAC work each arriving value triggers), multicast trees for
-value distribution, reduction trees for partial sums, and the counters
-that detect partial-sum completion.
+A kernel program is everything the simulator needs to execute one SpMV
+or SpTRSV under a given placement: per-tile column segments (the local
+FMAC work each arriving value triggers), multicast trees for value
+distribution, reduction trees for partial sums, and the counters that
+detect partial-sum completion.
+
+Since the array-backed IR refactor the program *representation* lives
+in :mod:`repro.dataflow.ir` (:class:`~repro.dataflow.ir.CompiledKernel`,
+structure-of-arrays) and the *construction* in
+:mod:`repro.dataflow.lower` (the strategy registry).  This module is
+the stable entry point: :func:`build_kernel_program` validates
+arguments and dispatches to the configured lowering;
+``KernelProgram`` is the historical public name for the program type.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
-from repro.comm.multicast import MulticastTree, build_multicast_tree
-from repro.comm.reduction import ReductionTree, build_reduction_tree
-from repro.comm.torus import TorusGeometry
+from repro.dataflow.ir import CompiledKernel
+from repro.dataflow.lower import resolve_lowering
 
-
-@dataclass
-class KernelProgram:
-    """The mapped dataflow of one kernel.
-
-    Attributes
-    ----------
-    name:
-        ``"spmv"``, ``"sptrsv_lower"`` or ``"sptrsv_upper"``.
-    n:
-        Vector length (matrix dimension).
-    vec_tile:
-        Home tile of each vector index.
-    col_segments:
-        ``col_segments[tile][j] = (rows, values)``: the local nonzeros
-        of column ``j`` on ``tile`` (off-diagonal only for SpTRSV).
-        Arrival of value ``j`` triggers these FMACs (Listing 2).
-    mcast_trees:
-        ``mcast_trees[j]``: list of trees distributing value ``j`` from
-        its home to every tile holding column-``j`` nonzeros (absent if
-        no remote destinations).  Tree mode (the default, Fig. 18
-        right) uses one merged tree; unicast mode (Fig. 18 left) uses
-        one single-destination tree per receiver, so the root must
-        issue one Send per destination.
-    red_trees:
-        ``red_trees[i]``: tree reducing row-``i`` partials into the home
-        (absent if the row is home-only).
-    local_counts:
-        ``local_counts[(tile, i)]``: FMACs tile must apply to its
-        row-``i`` partial before the partial is complete.
-    row_remote_inputs:
-        ``row_remote_inputs[i]``: number of tree children delivering
-        partials into the home (0 for home-only rows).
-    inv_diag:
-        Reciprocal diagonal per row (SpTRSV only; the paper stores
-        ``1/d`` to avoid divisions, Sec. VI-A).
-    dependent:
-        True for SpTRSV: value ``j`` is only produced by solving row
-        ``j``; False for SpMV where all values multicast at time 0.
-    initial_rows:
-        SpTRSV rows with no off-diagonal dependences (solvable at t=0).
-    total_fmacs:
-        Static FMAC count across all tiles (utilization accounting).
-    """
-
-    name: str
-    n: int
-    vec_tile: np.ndarray
-    col_segments: dict
-    mcast_trees: dict
-    red_trees: dict
-    local_counts: dict
-    row_remote_inputs: dict
-    inv_diag: np.ndarray = None
-    dependent: bool = False
-    initial_rows: np.ndarray = field(default_factory=lambda: np.empty(0, int))
-
-    @property
-    def total_fmacs(self) -> int:
-        """Total FMAC operations across all tiles."""
-        return sum(
-            len(rows)
-            for segments in self.col_segments.values()
-            for rows, _ in segments.values()
-        )
-
-    def flops(self) -> int:
-        """Useful FLOPs of one kernel execution (FMAC = 2)."""
-        fmacs = 2 * self.total_fmacs
-        if self.dependent:
-            fmacs += self.n  # one reciprocal-diagonal multiply per row
-        return fmacs
+#: Historical public name: a kernel program *is* a compiled kernel.
+KernelProgram = CompiledKernel
 
 
 def build_kernel_program(name: str, n: int, rows: np.ndarray,
                          cols: np.ndarray, values: np.ndarray,
                          nnz_tile: np.ndarray, vec_tile: np.ndarray,
-                         torus: TorusGeometry, inv_diag=None,
+                         torus, inv_diag=None,
                          dependent: bool = False,
-                         multicast: str = "tree") -> KernelProgram:
+                         multicast: str = "tree",
+                         lowering: Optional[str] = None) -> CompiledKernel:
     """Compile nonzero triplets + placement into a kernel program.
 
     ``rows``/``cols``/``values``/``nnz_tile`` must exclude diagonal
@@ -104,82 +42,15 @@ def build_kernel_program(name: str, n: int, rows: np.ndarray,
     ``inv_diag`` at each row's home tile.  ``multicast`` selects value
     distribution: ``"tree"`` (merged multicast trees, Fig. 18 right) or
     ``"unicast"`` (separate point-to-point sends, Fig. 18 left).
+    ``lowering`` names a :data:`~repro.dataflow.lower.LOWERINGS`
+    strategy; ``None`` resolves the environment default (vectorized
+    unless ``AZUL_DATAFLOW_REFERENCE`` is set).  All strategies
+    produce bit-identical programs.
     """
     if multicast not in ("tree", "unicast"):
         raise ValueError(f"unknown multicast mode {multicast!r}")
-    col_segments = {}
-    local_counts = {}
-    tiles_per_col = {}
-    tiles_per_row = {}
-    for k in range(len(rows)):
-        tile = int(nnz_tile[k])
-        i, j, v = int(rows[k]), int(cols[k]), float(values[k])
-        segments = col_segments.setdefault(tile, {})
-        entry = segments.setdefault(j, ([], []))
-        entry[0].append(i)
-        entry[1].append(v)
-        local_counts[(tile, i)] = local_counts.get((tile, i), 0) + 1
-        tiles_per_col.setdefault(j, set()).add(tile)
-        tiles_per_row.setdefault(i, set()).add(tile)
-
-    # Freeze segment lists into arrays.
-    for segments in col_segments.values():
-        for j in list(segments):
-            row_list, val_list = segments[j]
-            segments[j] = (
-                np.array(row_list, dtype=np.int64),
-                np.array(val_list, dtype=np.float64),
-            )
-
-    mcast_trees = {}
-    for j, tiles in tiles_per_col.items():
-        home = int(vec_tile[j])
-        destinations = sorted(tiles - {home})
-        if not destinations:
-            continue
-        if multicast == "tree":
-            mcast_trees[j] = [
-                build_multicast_tree(torus, home, destinations)
-            ]
-        else:
-            mcast_trees[j] = [
-                build_multicast_tree(torus, home, [dst])
-                for dst in destinations
-            ]
-
-    red_trees = {}
-    row_remote_inputs = {}
-    for i, tiles in tiles_per_row.items():
-        home = int(vec_tile[i])
-        sources = sorted(tiles - {home})
-        if sources:
-            tree = build_reduction_tree(torus, home, sources)
-            red_trees[i] = tree
-            # Children of the root deliver the merged partial streams.
-            row_remote_inputs[i] = sum(
-                1 for child, parent in tree.edges if parent == home
-            )
-        else:
-            row_remote_inputs[i] = 0
-    for i in range(n):
-        row_remote_inputs.setdefault(i, 0)
-
-    initial_rows = np.empty(0, dtype=np.int64)
-    if dependent:
-        has_offdiag = np.zeros(n, dtype=bool)
-        has_offdiag[np.unique(rows)] = True
-        initial_rows = np.nonzero(~has_offdiag)[0]
-
-    return KernelProgram(
-        name=name,
-        n=n,
-        vec_tile=np.asarray(vec_tile, dtype=np.int64),
-        col_segments=col_segments,
-        mcast_trees=mcast_trees,
-        red_trees=red_trees,
-        local_counts=local_counts,
-        row_remote_inputs=row_remote_inputs,
-        inv_diag=None if inv_diag is None else np.asarray(inv_diag, float),
-        dependent=dependent,
-        initial_rows=initial_rows,
+    strategy = resolve_lowering(lowering)()
+    return strategy.lower(
+        name, n, rows, cols, values, nnz_tile, vec_tile, torus,
+        inv_diag=inv_diag, dependent=dependent, multicast=multicast,
     )

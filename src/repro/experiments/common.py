@@ -32,7 +32,9 @@ Observability
 -------------
 Every pipeline stage is instrumented through :mod:`repro.obs` (no-ops
 unless enabled): ``pipeline.prepare`` / ``pipeline.place`` /
-``pipeline.simulate`` timers+spans, cache counters from
+``pipeline.simulate`` timers+spans, ``compile.requests`` /
+``compile.cache_hits`` / ``compile.builds`` counters plus a
+``compile.build`` timer around program lowering, cache counters from
 :mod:`repro.cache`, and — when tracing is enabled — simulator issue
 traces bridged into the Chrome-trace export.  ``simulate(...,
 trace=True)`` (default: :func:`repro.obs.tracing_enabled`) records
@@ -58,11 +60,13 @@ from repro.graph import color_and_permute
 from repro.hypergraph import PartitionerOptions
 from repro.precond import ic0
 from repro.sim import AzulMachine, PEModel, pe_model_by_name, pe_model_names
+from repro.sim.machine import verify_iteration
 from repro.sparse.suite import REPRESENTATIVE, get_suite_matrix, suite_names
 
 #: Cache namespaces (subdirectories of the cache root).
 PLACEMENT_NAMESPACE = "placements"
 SIMULATION_NAMESPACE = "simulations"
+PROGRAM_NAMESPACE = "programs"
 
 #: Logical schema of placement / simulation cache entries.  ``v1``
 #: keyed the in-memory simulation cache on the raw ``AzulConfig``
@@ -82,6 +86,15 @@ SIMULATION_NAMESPACE = "simulations"
 #: untraced ones.
 PLACEMENT_SCHEMA = "v3"
 SIMULATION_SCHEMA = "v4"
+
+#: Compiled-program cache entries hold the three
+#: :class:`~repro.dataflow.ir.CompiledKernel` objects of one PCG
+#: iteration, content-addressed on the matrix/factor arrays, the
+#: placement arrays, the NoC geometry, the multicast mode, and the
+#: effective lowering strategy — *not* on timing knobs (PE model,
+#: SRAM latencies, frequency), so sweep points that differ only in
+#: sim/engine configuration compile once and share the entry.
+PROGRAM_SCHEMA = "v1"
 
 #: Partitioner presets accepted by :func:`mapper_options`.
 PRESETS = ("speed", "quality", "default")
@@ -148,6 +161,85 @@ def _pe_key_part(pe):
             int(pe.thread_contexts),
         )
     return pe
+
+
+# ----------------------------------------------------------------------
+# Compiled-program cache
+# ----------------------------------------------------------------------
+def program_cache_key(cache: ArtifactCache, config: AzulConfig,
+                      matrix, lower, placement,
+                      multicast: str = "tree") -> str:
+    """Content-addressed key of one compiled PCG iteration program.
+
+    The key covers everything program *construction* reads — the CSR
+    arrays of A and L, the three placement arrays, the NoC geometry
+    (topology + mesh dimensions), the multicast mode, and the effective
+    lowering strategy — and nothing the timing layers read, so PE/SRAM
+    /frequency sweeps alias to the same compiled kernels.
+    """
+    from repro.dataflow.lower import default_lowering_name
+
+    return cache.key(
+        "program",
+        matrix.indptr, matrix.indices, matrix.data,
+        lower.indptr, lower.indices, lower.data,
+        placement.a_tile, placement.l_tile, placement.vec_tile,
+        config.topology, config.mesh_rows, config.mesh_cols,
+        multicast, default_lowering_name(), PROGRAM_SCHEMA,
+    )
+
+
+def compile_pcg_program(machine: AzulMachine, matrix, lower, placement,
+                        *, multicast: str = "tree",
+                        cache: Optional[ArtifactCache] = None,
+                        use_cache: bool = True, label: str = ""):
+    """Compile — or fetch from the ``programs`` cache — one iteration.
+
+    The cache entry stores only the three
+    :class:`~repro.dataflow.ir.CompiledKernel` objects; the analytic
+    :class:`~repro.dataflow.vector_ops.VectorPhaseModel` is rebuilt
+    from the live machine config on every hit (it is cheap and *does*
+    depend on timing knobs).  Instrumented through :mod:`repro.obs`:
+    ``compile.requests`` / ``compile.cache_hits`` / ``compile.builds``
+    counters and a ``compile.build`` timer around actual lowering.
+    """
+    from repro.dataflow.program import PCGIterationProgram
+    from repro.dataflow.vector_ops import VectorPhaseModel
+    from repro.errors import SimulationError
+
+    if placement.n_tiles != machine.config.num_tiles:
+        raise SimulationError(
+            f"placement targets {placement.n_tiles} tiles but the "
+            f"machine has {machine.config.num_tiles}"
+        )
+    obs.counter("compile.requests")
+    key = None
+    if use_cache and cache is not None:
+        key = program_cache_key(cache, machine.config, matrix, lower,
+                                placement, multicast)
+        kernels = cache.get(PROGRAM_NAMESPACE, key, PICKLE)
+        if kernels is not MISS:
+            obs.counter("compile.cache_hits")
+            spmv, forward, backward = kernels
+            vector_phase = VectorPhaseModel(
+                vec_tile=placement.vec_tile, torus=machine.torus,
+                config=machine.config,
+            )
+            return PCGIterationProgram(
+                spmv=spmv, sptrsv_lower=forward, sptrsv_upper=backward,
+                vector_phase=vector_phase, n=int(matrix.n_rows),
+            )
+    obs.counter("compile.builds")
+    with obs.timer("compile.build", matrix=label, multicast=multicast):
+        program = machine.compile(matrix, lower, placement,
+                                  multicast=multicast)
+    if key is not None:
+        cache.put(
+            PROGRAM_NAMESPACE, key,
+            (program.spmv, program.sptrsv_lower, program.sptrsv_upper),
+            PICKLE,
+        )
+    return program
 
 
 # ----------------------------------------------------------------------
@@ -307,6 +399,37 @@ class ExperimentSession:
         placement.placement_seconds = float(arrays["seconds"])
         return placement
 
+    # -- compilation ---------------------------------------------------
+    def compiled_program(self, name: str, mapper: str = "azul", *,
+                         scale: Optional[int] = None,
+                         preset: Optional[str] = None,
+                         multicast: str = "tree",
+                         use_cache: Optional[bool] = None):
+        """The compiled PCG iteration program for one mapped matrix.
+
+        Programs are content-addressed in the ``programs`` cache
+        namespace (see :func:`program_cache_key`): two sessions — or
+        two sweep points — whose matrix, placement, geometry, and
+        multicast mode agree share one compilation, whatever their
+        timing configuration.
+        """
+        _validate_choice("mapper", mapper, MAPPERS)
+        scale = self.scale if scale is None else int(scale)
+        preset = self.preset if preset is None else preset
+        _validate_choice("preset", preset, PRESETS)
+        use_cache = self.use_cache if use_cache is None else bool(use_cache)
+        prepared = self.prepare(name, scale)
+        placement = self.placement(
+            name, mapper, self.config.num_tiles,
+            scale=scale, preset=preset, use_cache=use_cache,
+        )
+        machine = AzulMachine(self.config)
+        return compile_pcg_program(
+            machine, prepared.matrix, prepared.lower, placement,
+            multicast=multicast, cache=self.cache, use_cache=use_cache,
+            label=name,
+        )
+
     # -- simulation ----------------------------------------------------
     def simulation_key(self, name: str, mapper: str = "azul",
                        pe="azul", *, scale: Optional[int] = None,
@@ -375,12 +498,19 @@ class ExperimentSession:
         )
         model = pe if isinstance(pe, PEModel) else pe_model_by_name(pe)
         machine = AzulMachine(self.config, model)
+        program = compile_pcg_program(
+            machine, prepared.matrix, prepared.lower, placement,
+            cache=self.cache, use_cache=use_cache, label=name,
+        )
         with obs.timer("pipeline.simulate", matrix=name, mapper=mapper,
                        pe=str(getattr(pe, "name", pe)), trace=trace):
-            result = machine.simulate_pcg(
-                prepared.matrix, prepared.lower, placement, prepared.b,
-                check=check, record_issue_trace=trace,
+            result = machine.simulate_iteration(
+                program, p=prepared.b, r=prepared.b,
+                record_issue_trace=trace,
             )
+        if check:
+            verify_iteration(result, prepared.matrix, prepared.lower,
+                             prepared.b)
         if use_cache:
             self.cache.put(SIMULATION_NAMESPACE, key, result, PICKLE)
         if trace:

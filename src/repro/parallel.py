@@ -309,10 +309,20 @@ def simulate_keyed(session, points, jobs: Optional[int] = None, *,
 # Custom-placement sweeps (partitioner / seed / multicast ablations)
 # ----------------------------------------------------------------------
 def _simulate_placement_in_worker(spec: dict):
-    """Worker entry point for :func:`simulate_placements`."""
+    """Worker entry point for :func:`simulate_placements`.
+
+    Program compilation goes through the shared ``programs`` cache
+    namespace: multicast/PE ablation points over one placement reuse
+    the compiled kernels of any prior point that agreed on everything
+    program construction reads.
+    """
     from repro.core import Placement
-    from repro.experiments.common import ExperimentSession
+    from repro.experiments.common import (
+        ExperimentSession,
+        compile_pcg_program,
+    )
     from repro.sim import AzulMachine, pe_model_by_name
+    from repro.sim.machine import verify_iteration
 
     session = ExperimentSession(
         spec["config"], scale=spec["scale"], use_cache=spec["use_cache"],
@@ -328,11 +338,19 @@ def _simulate_placement_in_worker(spec: dict):
     pe = spec["pe"]
     model = pe if isinstance(pe, PEModel) else pe_model_by_name(pe)
     machine = AzulMachine(spec["config"], model)
-    return machine.simulate_pcg(
-        prepared.matrix, prepared.lower, placement, prepared.b,
-        check=spec["check"], multicast=spec["multicast"],
+    program = compile_pcg_program(
+        machine, prepared.matrix, prepared.lower, placement,
+        multicast=spec["multicast"], cache=session.cache,
+        use_cache=spec["use_cache"], label=spec["name"],
+    )
+    result = machine.simulate_iteration(
+        program, p=prepared.b, r=prepared.b,
         record_issue_trace=spec["trace"],
     )
+    if spec["check"]:
+        verify_iteration(result, prepared.matrix, prepared.lower,
+                         prepared.b)
+    return result
 
 
 def simulate_placements(session, name: Optional[str], placements: Sequence,

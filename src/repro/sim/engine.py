@@ -26,7 +26,7 @@ from repro.config import AzulConfig, ENV_SIM_REFERENCE, env_truthy
 from repro.dataflow.kernel_program import KernelProgram
 from repro.errors import SimulationError
 from repro.sim.events import EV_PUMP, EventQueue, drain
-from repro.sim.fabric import LinkFabric, flatten_multicast_plan
+from repro.sim.fabric import LinkFabric, flatten_multicast_forest
 from repro.sim.issue import (
     VEC_THRESHOLD as _VEC_THRESHOLD,  # re-exported for the test suite
     resolve_strategy,
@@ -134,22 +134,41 @@ class KernelSimulator:
                 "reference" if _env_wants_reference() else "batched"
             )
         self.issue = resolve_strategy(name)()
-        # Shared static structures (engine-independent, built once).
-        # Column segments as plain Python lists: scalar ``rows[pos]`` /
+        # Shared static structures (engine-independent, built once)
+        # straight from the program's flat IR arrays.  Column segments
+        # become plain Python lists: scalar ``rows[pos]`` /
         # ``vals[pos]`` reads are then native ints/floats.  ``tolist``
         # preserves the exact IEEE-754 values.
-        self._segments = {
-            tile: {
-                j: (seg[0].tolist(), seg[1].tolist())
-                for j, seg in segments.items()
-            }
-            for tile, segments in program.col_segments.items()
-        }
+        rows_list = program.rows.tolist()
+        vals_list = program.values.tolist()
+        seg_ptr = program.seg_ptr.tolist()
+        seg_tile = program.seg_tile.tolist()
+        seg_col = program.seg_col.tolist()
+        segments_by_tile: Dict[int, Dict[int, tuple]] = {}
+        for s in range(len(seg_tile)):
+            lo, hi = seg_ptr[s], seg_ptr[s + 1]
+            segments_by_tile.setdefault(seg_tile[s], {})[seg_col[s]] = (
+                rows_list[lo:hi], vals_list[lo:hi],
+            )
+        self._segments = segments_by_tile
         # Flattened multicast routing (one dict probe per arrival); the
         # destination payload is the triggered column segment, if any.
-        self._mcast_plan, self.mcast_send = flatten_multicast_plan(
-            program.mcast_trees, self._segment_at,
+        self._mcast_plan, self.mcast_send = flatten_multicast_forest(
+            program, self._segment_at,
         )
+        #: Multicast trees per column (0 for home-only columns).
+        self._mcast_count = program.mcast_count.tolist()
+        # Reduction next-hops, flattened to one probe per completion:
+        # ``(row, node) -> parent``.
+        red_parent: Dict[Tuple[int, int], int] = {}
+        red_row = program.red_row.tolist()
+        red_edge_ptr = program.red_edge_ptr.tolist()
+        red_child = program.red_child.tolist()
+        red_parent_arr = program.red_parent.tolist()
+        for t, row in enumerate(red_row):
+            for e in range(red_edge_ptr[t], red_edge_ptr[t + 1]):
+                red_parent[(row, red_child[e])] = red_parent_arr[e]
+        self._red_parent = red_parent
         self._vec_tile_list = program.vec_tile.tolist()
         # Dummy hazard row (see ``state.TASK_HAZARD``): Sends gate on
         # nothing, so they point at accumulator slot ``n`` which stays
@@ -172,8 +191,8 @@ class KernelSimulator:
         config = self.config
         self.events = EventQueue()
         self.state = KernelState(
-            n, program.local_counts, config.msg_buffer_entries,
-            2 * config.sram_access_cycles,
+            n, program.local_tiles, program.local_counts,
+            config.msg_buffer_entries, 2 * config.sram_access_cycles,
         )
         self.fabric = LinkFabric(self.events, config.hop_cycles)
         self.issue_trace = [] if self.record_issue_trace else None
@@ -246,7 +265,7 @@ class KernelSimulator:
             if segment is not None:
                 enqueue(home, [0, T_SAAC, segment[0], segment[1],
                                value, 0, segment[0][0]])
-            for tree_index in range(len(program.mcast_trees.get(j, ()))):
+            for tree_index in range(self._mcast_count[j]):
                 enqueue(home, [0, T_SEND, ("mcast", j, value, tree_index),
                                0, 0, 0, dummy])
         # Rows with no pending inputs complete immediately (y_i = 0 or
@@ -332,7 +351,7 @@ class KernelSimulator:
         if node == home:
             self._row_complete(row, time)
         else:
-            parent = self.program.red_trees[row].parent[node]
+            parent = self._red_parent[(row, node)]
             tile = state.tiles.get(node)
             value = 0.0 if tile is None else tile.partial[row]
             self._enqueue_and_pump(
@@ -370,7 +389,7 @@ class KernelSimulator:
         if segment is not None:
             state.enqueue(home, [completion, T_SAAC, segment[0],
                                  segment[1], value, 0, segment[0][0]])
-        for tree_index in range(len(program.mcast_trees.get(row, ()))):
+        for tree_index in range(self._mcast_count[row]):
             state.enqueue(home, [completion, T_SEND,
                                  ("mcast", row, value, tree_index),
                                  0, 0, 0, self._dummy_row])

@@ -120,6 +120,55 @@ def flatten_multicast_plan(
     return plan, send_plan
 
 
+def flatten_multicast_forest(
+    program,
+    payload_at: Callable[[int, int], Any],
+) -> Tuple[Dict[Tuple[int, int, int], McastStep],
+           Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]]]:
+    """Flatten a compiled kernel's multicast forest into lookup tables.
+
+    The flat-array counterpart of :func:`flatten_multicast_plan`:
+    reads the :class:`~repro.dataflow.ir.CompiledKernel` forest arrays
+    (``mcast_col``/``mcast_root``/``mcast_edge_ptr``/…) directly, so
+    no per-tree objects are materialized.  Returns the same
+    ``(plan, send_plan)`` tables keyed ``(col, tree_index, node)`` /
+    ``(col, tree_index)``.
+
+    Children fork in sorted-edge order (the canonical form the
+    lowering emits), which is deterministic and engine-independent.
+    """
+    plan: Dict[Tuple[int, int, int], McastStep] = {}
+    send_plan: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]] = {}
+    mcast_col = program.mcast_col.tolist()
+    mcast_root = program.mcast_root.tolist()
+    mcast_first = program.mcast_first
+    edge_ptr = program.mcast_edge_ptr.tolist()
+    parents = program.mcast_parent.tolist()
+    child_arr = program.mcast_child.tolist()
+    dst_ptr = program.mcast_dst_ptr.tolist()
+    dsts = program.mcast_dst.tolist()
+    for t in range(len(mcast_col)):
+        j = mcast_col[t]
+        tree_index = t - int(mcast_first[j])
+        root = mcast_root[t]
+        children: Dict[int, List[int]] = {}
+        nodes = {root}
+        for e in range(edge_ptr[t], edge_ptr[t + 1]):
+            children.setdefault(parents[e], []).append(child_arr[e])
+            nodes.add(child_arr[e])
+            nodes.add(parents[e])
+        destinations = set(dsts[dst_ptr[t]:dst_ptr[t + 1]])
+        for node in nodes:
+            payload = payload_at(node, j) if node in destinations else None
+            plan[(j, tree_index, node)] = (
+                tuple(children.get(node, ())), payload,
+            )
+        send_plan[(j, tree_index)] = (
+            root, tuple(children.get(root, ())),
+        )
+    return plan, send_plan
+
+
 class FabricModel:
     """Static tree/link API of the NoC for a given geometry.
 

@@ -18,9 +18,13 @@ def functional_spmv(program: KernelProgram, x: np.ndarray) -> np.ndarray:
     """Execute a compiled SpMV program: scale segments, reduce partials."""
     x = np.asarray(x, dtype=np.float64)
     y = np.zeros(program.n)
-    for segments in program.col_segments.values():
-        for j, (rows, values) in segments.items():
-            np.add.at(y, rows, values * x[j])
+    seg_ptr = program.seg_ptr
+    for s in range(program.n_segments):
+        lo, hi = seg_ptr[s], seg_ptr[s + 1]
+        np.add.at(
+            y, program.rows[lo:hi],
+            program.values[lo:hi] * x[program.seg_col[s]],
+        )
     return y
 
 
@@ -35,15 +39,19 @@ def functional_sptrsv(program: KernelProgram, b: np.ndarray) -> np.ndarray:
     acc = np.zeros(n)
     x = np.zeros(n)
     # Pending off-diagonal contributions per row, over all tiles.
-    pending = np.zeros(n, dtype=np.int64)
-    for (tile, row), count in program.local_counts.items():
-        pending[row] += count
+    if len(program.local_counts):
+        pending = program.local_counts.sum(axis=0)
+    else:
+        pending = np.zeros(n, dtype=np.int64)
     ready = [i for i in range(n) if pending[i] == 0]
-    # Per-column global segments (merged over tiles).
+    # Per-column global segments (merged over tiles, segment order).
     columns = {}
-    for segments in program.col_segments.values():
-        for j, (rows, values) in segments.items():
-            columns.setdefault(j, []).append((rows, values))
+    seg_ptr = program.seg_ptr
+    for s in range(program.n_segments):
+        lo, hi = seg_ptr[s], seg_ptr[s + 1]
+        columns.setdefault(int(program.seg_col[s]), []).append(
+            (program.rows[lo:hi], program.values[lo:hi])
+        )
     solved = 0
     while ready:
         i = ready.pop()

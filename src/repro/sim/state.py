@@ -14,7 +14,7 @@ nothing else from :mod:`repro.sim`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -81,8 +81,7 @@ class KernelState:
         "local_by_tile",
     )
 
-    def __init__(self, n: int,
-                 local_counts: Mapping[Tuple[int, int], int],
+    def __init__(self, n: int, local_tiles, local_counts,
                  msg_buffer_entries: int, spill_penalty: int) -> None:
         self.n = n
         self.tiles: Dict[int, TileState] = {}
@@ -96,14 +95,15 @@ class KernelState:
         self.end_time = 0
         self.msg_buffer_entries = msg_buffer_entries
         self.spill_penalty = spill_penalty
-        by_tile: Dict[int, List[int]] = {}
-        for (tile_id, row), count in local_counts.items():
-            rem = by_tile.get(tile_id)
-            if rem is None:
-                rem = [0] * n
-                by_tile[tile_id] = rem
-            rem[row] = count
-        self.local_by_tile = by_tile
+        # ``local_tiles``/``local_counts`` are the program's dense
+        # per-(tile, row) FMAC counters (``local_counts[p]`` is the
+        # row vector of tile ``local_tiles[p]``).  Each tile's counts
+        # become a plain Python list: the issue loops decrement with
+        # scalar list indexing.
+        self.local_by_tile: Dict[int, List[int]] = {
+            int(tile): np.asarray(counts).tolist()
+            for tile, counts in zip(local_tiles, local_counts)
+        }
 
     # ------------------------------------------------------------------
     def tile(self, tile_id: int) -> TileState:
@@ -140,26 +140,37 @@ class KernelState:
         """Expected inputs at every reduction-tree node and every home.
 
         ``program`` is duck-typed (a
-        :class:`~repro.dataflow.kernel_program.KernelProgram`); the
-        state layer reads only ``n``, ``vec_tile``, ``red_trees`` and
-        ``local_counts`` from it.
+        :class:`~repro.dataflow.ir.CompiledKernel`); the state layer
+        reads only ``n``, ``vec_tile``, the flat reduction-forest
+        arrays (``red_index``/``red_edge_ptr``/``red_child``/
+        ``red_parent``), and the dense local counters mirrored in
+        :attr:`local_by_tile`.
         """
         node_remaining = self.node_remaining
-        local = program.local_counts
+        local_by_tile = self.local_by_tile
+        vec_tile = program.vec_tile.tolist()
+        red_index = program.red_index.tolist()
+        edge_ptr = program.red_edge_ptr.tolist()
+        red_child = program.red_child.tolist()
+        red_parent = program.red_parent.tolist()
         for i in range(program.n):
-            home = int(program.vec_tile[i])
-            tree = program.red_trees.get(i)
-            if tree is None:
-                node_remaining[(i, home)] = 1 if (home, i) in local else 0
+            home = vec_tile[i]
+            tree = red_index[i]
+            if tree < 0:
+                rem = local_by_tile.get(home)
+                node_remaining[(i, home)] = (
+                    1 if rem is not None and rem[i] > 0 else 0
+                )
                 continue
             children: Dict[int, int] = {}
-            for child, parent in tree.edges:
-                children[parent] = children.get(parent, 0) + 1
             nodes = {home}
-            nodes.update(tree.parent)
+            for e in range(edge_ptr[tree], edge_ptr[tree + 1]):
+                children[red_parent[e]] = children.get(red_parent[e], 0) + 1
+                nodes.add(red_child[e])
             for node in nodes:
                 expected = children.get(node, 0)
-                if (node, i) in local:
+                rem = local_by_tile.get(node)
+                if rem is not None and rem[i] > 0:
                     expected += 1
                 node_remaining[(i, node)] = expected
 

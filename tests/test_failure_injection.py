@@ -81,8 +81,8 @@ class TestCorruptPrograms:
         program = build_sptrsv_program(
             lower, placement.l_tile, placement.vec_tile, TORUS
         )
-        victim = next(iter(program.local_counts))
-        program.local_counts[victim] += 1  # expects one phantom FMAC
+        p, i = np.argwhere(program.local_counts > 0)[0]
+        program.local_counts[p, i] += 1  # expects one phantom FMAC
         with pytest.raises(SimulationError, match="deadlock"):
             KernelSimulator(program, TORUS, CONFIG, AZUL_PE).run(b=b)
 

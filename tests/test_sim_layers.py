@@ -180,7 +180,8 @@ class TestFabricModel:
 # ---------------------------------------------------------------------------
 class TestKernelState:
     def test_tile_created_on_first_touch(self):
-        state = KernelState(4, {}, msg_buffer_entries=8, spill_penalty=6)
+        state = KernelState(4, [], np.zeros((0, 4), dtype=np.int64),
+                    msg_buffer_entries=8, spill_penalty=6)
         assert state.tiles == {}
         tile = state.tile(2)
         assert state.tile(2) is tile
@@ -190,12 +191,13 @@ class TestKernelState:
         assert tile.local_rem is None
 
     def test_local_rem_densified_per_tile(self):
-        state = KernelState(3, {(1, 0): 2, (1, 2): 1}, 8, 6)
+        state = KernelState(3, [1], np.array([[2, 0, 1]]), 8, 6)
         assert state.tile(1).local_rem == [2, 0, 1]
         assert state.tile(0).local_rem is None
 
     def test_enqueue_spills_after_buffer_fills(self):
-        state = KernelState(2, {}, msg_buffer_entries=2, spill_penalty=6)
+        state = KernelState(2, [], np.zeros((0, 2), dtype=np.int64),
+                    msg_buffer_entries=2, spill_penalty=6)
         t0 = [10, 3, "p", 0, 0, 0, 2]
         state.enqueue(0, t0)
         state.enqueue(0, [10, 3, "q", 0, 0, 0, 2])
@@ -206,7 +208,7 @@ class TestKernelState:
         assert overflow[0] == 16     # delayed by one SRAM round trip
 
     def test_op_totals_sums_tiles(self):
-        state = KernelState(2, {}, 8, 6)
+        state = KernelState(2, [], np.zeros((0, 2), dtype=np.int64), 8, 6)
         state.tile(0).op_counts = [1, 2, 3, 4]
         state.tile(0).busy = 5
         state.tile(1).op_counts = [10, 0, 0, 1]
@@ -216,7 +218,7 @@ class TestKernelState:
         assert busy == 12
 
     def test_partial_value_defaults_to_zero(self):
-        state = KernelState(2, {}, 8, 6)
+        state = KernelState(2, [], np.zeros((0, 2), dtype=np.int64), 8, 6)
         assert state.partial_value(3, 1) == 0.0
         state.tile(3).partial[1] = 2.5
         assert state.partial_value(3, 1) == 2.5

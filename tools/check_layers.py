@@ -15,9 +15,14 @@ library:
    ``RefineStrategy`` registry (``refine``) sits below the vectorized
    implementation (``refine_vec``), which sits below the driver.
 3. **comm independence** — ``repro.comm`` never imports ``repro.sim``
-   (geometries and trees stay simulator-agnostic).
+   or ``repro.dataflow`` (geometries, trees, and forests stay
+   simulator- and program-agnostic).
 4. **dataflow independence** — ``repro.dataflow`` never imports
-   ``repro.sim.engine`` (programs are engine-neutral artifacts).
+   ``repro.sim`` (programs are engine-neutral artifacts the simulator
+   consumes), and within the package the layers ``messages <- tasks
+   <- ir <- lower <- kernel_program <- [spmv_graph / sptrsv_graph /
+   vector_ops] <- program`` may only depend downward; the three
+   program builders form a sibling group.
 5. **hypergraph independence** — ``repro.hypergraph`` never imports
    the simulator, mapping core, experiments, or CLI: the partitioner
    is a leaf library, callers pass ``jobs``/options down explicitly.
@@ -66,6 +71,13 @@ Layer = Union[str, List[str]]
 #: module may import only itself and strictly lower layers.
 LAYERED_PACKAGES: Dict[str, List[Layer]] = {
     "repro.sim": ["events", "state", "fabric", "issue", "engine"],
+    "repro.dataflow": [
+        "messages", "tasks", "ir", "lower", "kernel_program",
+        [  # sibling group: independent program builders over the IR
+            "spmv_graph", "sptrsv_graph", "vector_ops",
+        ],
+        "program",
+    ],
     "repro.hypergraph": [
         "hgraph", "metrics", "rebalance", "coarsen", "initial",
         "refine", "refine_vec", "partitioner",
@@ -103,9 +115,11 @@ LEAF_PACKAGES: Dict[str, str] = {
 FORBIDDEN: List[Tuple[str, str, str]] = [
     ("repro.comm", "repro.sim",
      "comm is the geometry/tree layer; it must not know the simulator"),
-    ("repro.dataflow", "repro.sim.engine",
-     "dataflow programs are engine-neutral artifacts; only the "
-     "composition root may bind them to an engine"),
+    ("repro.comm", "repro.dataflow",
+     "comm sits below dataflow; trees and forests stay program-agnostic"),
+    ("repro.dataflow", "repro.sim",
+     "dataflow programs are engine-neutral artifacts; the simulator "
+     "consumes them, never the reverse"),
     ("repro.sim", "repro.cli",
      "the simulator never reaches into the CLI"),
     ("repro.hypergraph", "repro.sim",
